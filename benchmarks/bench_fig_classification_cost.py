@@ -1,0 +1,109 @@
+"""Experiment E9 — classification cost vs the paper's reference points.
+
+§7.3: "By carefully implementing packet classification, we achieve
+faster lookups for IPv6 than other integrated services platforms for
+IPv4 (e.g, [27] states that they require 2.6 µs for packet
+classification for IPv4 packets), even though IPv6 addresses are
+larger."
+
+Modelled (cost-model) classification times, per path:
+
+* cached (flow-table hit) IPv4 and IPv6 — the common case;
+* uncached (full DAG filter lookup per gate) IPv4 and IPv6;
+
+all compared against the [27] reference of 2.6 µs per IPv4
+classification on comparable-era hardware.
+"""
+
+import pytest
+
+from conftest import report
+from repro.aiu import AIU
+from repro.core.gates import DEFAULT_GATES
+from repro.sim.cost import CycleMeter, MemoryMeter, cycles_to_us
+from repro.workloads import random_filters, synthetic_flows
+
+STOICA_REFERENCE_US = 2.6      # [27]'s IPv4 classification time
+
+
+def _aiu_with_filters(width: int) -> AIU:
+    aiu = AIU(DEFAULT_GATES, bmp_engine="bspl", flow_buckets=32768)
+    filters = random_filters(512, width=width, seed=width, host_fraction=0.8)
+    gate_names = list(DEFAULT_GATES)
+    for i, flt in enumerate(filters):
+        table = aiu._table(gate_names[i % 3], width)
+        from repro.aiu.records import FilterRecord
+
+        table.check_ambiguity = False
+        table.install(FilterRecord(flt, gate=gate_names[i % 3]))
+    return aiu
+
+
+def _measure(width: int, ipv6: bool):
+    aiu = _aiu_with_filters(width)
+    flows = synthetic_flows(64, seed=13, ipv6=ipv6)
+    packets = [flow.packet() for flow in flows]
+
+    uncached_cycles = []
+    for packet in packets:
+        cycles = CycleMeter()
+        meter = MemoryMeter(cycle_meter=cycles, label="classification")
+        aiu.classify(packet, "ip_options", meter=meter, cycles=cycles)
+        uncached_cycles.append(cycles.total)
+
+    cached_cycles = []
+    for packet in packets:
+        again = packet.copy()
+        again.iif = packet.iif
+        cycles = CycleMeter()
+        meter = MemoryMeter(cycle_meter=cycles, label="classification")
+        aiu.classify(again, "ip_options", meter=meter, cycles=cycles)
+        cached_cycles.append(cycles.total)
+
+    return (
+        cycles_to_us(sum(cached_cycles) / len(cached_cycles)),
+        cycles_to_us(sum(uncached_cycles) / len(uncached_cycles)),
+        aiu,
+        packets,
+    )
+
+
+@pytest.mark.parametrize("width,ipv6,family", [(32, False, "IPv4"), (128, True, "IPv6")])
+def test_classification_cost(benchmark, width, ipv6, family):
+    cached_us, uncached_us, aiu, packets = _measure(width, ipv6)
+    report(
+        f"Classification cost ({family}, 512 filters, 3 gates)",
+        [
+            f"cached (flow-table hit)      : {cached_us:.3f} us",
+            f"uncached (3 DAG lookups)     : {uncached_us:.3f} us",
+            f"[27] reference, IPv4 cached  : {STOICA_REFERENCE_US} us",
+        ],
+    )
+    # The paper's claim: even IPv6 classification here beats [27]'s IPv4.
+    assert cached_us < STOICA_REFERENCE_US
+    # And the uncached path (amortized over a flow) is also competitive.
+    assert uncached_us < 3 * STOICA_REFERENCE_US
+
+    index = {"i": 0}
+
+    def classify_cached():
+        packet = packets[index["i"] % len(packets)].copy()
+        packet.iif = packets[0].iif
+        index["i"] += 1
+        aiu.classify(packet, "ip_options")
+
+    benchmark(classify_cached)
+    benchmark.extra_info["modelled_cached_us"] = round(cached_us, 3)
+    benchmark.extra_info["modelled_uncached_us"] = round(uncached_us, 3)
+    benchmark.extra_info["stoica_reference_us"] = STOICA_REFERENCE_US
+
+
+def test_ipv6_not_slower_than_reference_despite_width(benchmark):
+    """The headline sentence, asserted directly."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    cached_v6, uncached_v6, _, _ = _measure(128, True)
+    assert cached_v6 < STOICA_REFERENCE_US
+    report(
+        "IPv6 vs [27] IPv4 reference",
+        [f"our IPv6 cached classification {cached_v6:.3f} us < 2.6 us ([27] IPv4)"],
+    )

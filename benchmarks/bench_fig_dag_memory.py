@@ -1,0 +1,87 @@
+"""Experiment E5b — the DAG's memory blow-up under ambiguous filters.
+
+§5.1.2: "if there are many ambiguous filters (see [7]), the memory
+requirements of our algorithm can be excessive" — the set-pruning
+replication cost the paper concedes.  We characterize it: DAG node count
+as broad (covering) filters are added to a base of host filters.  Each
+broad filter replicates into every more-specific sibling subtree, so
+nodes grow ~linearly in (broad × hosts); with hosts only, growth is
+linear in filters.
+"""
+
+import pytest
+
+from conftest import report
+from repro.aiu.dag import DagFilterTable
+from repro.aiu.records import FilterRecord
+from repro.workloads import random_filters
+
+HOSTS = 2000
+BROAD_COUNTS = (0, 4, 16, 64)
+
+
+def _build(broad_count: int) -> DagFilterTable:
+    table = DagFilterTable(width=32, check_ambiguity=False)
+    # Hosts inside 10.0.0.0/8 so the broad filters genuinely cover them.
+    hosts = random_filters(HOSTS, seed=1, host_fraction=1.0)
+    for flt in hosts:
+        table.install(FilterRecord(flt, gate="bench"))
+    if broad_count:
+        from repro.aiu.filters import Filter
+
+        for i in range(broad_count):
+            # Wildcard source (covers every host-src subtree) with a
+            # distinct destination prefix: each one replicates a fresh
+            # path into all ~HOSTS subtrees — the ambiguous-filter shape.
+            spec = f"*, {i + 1}.0.0.0/8, UDP"
+            table.install(FilterRecord(Filter.parse(spec), gate="bench"))
+    return table
+
+
+@pytest.fixture(scope="module")
+def growth():
+    return {count: _build(count).node_count() for count in BROAD_COUNTS}
+
+
+def test_dag_memory_blowup_characterized(benchmark, growth):
+    benchmark.pedantic(lambda: None, rounds=1)
+    base = growth[0]
+    lines = [f"{'broad filters':>14} {'DAG nodes':>10} {'vs host-only':>13}"]
+    for count in BROAD_COUNTS:
+        lines.append(
+            f"{count:>14} {growth[count]:>10} {growth[count] / base:>12.2f}x"
+        )
+    lines.append("")
+    lines.append("paper §5.1.2: 'the memory requirements of our algorithm can be"
+                 " excessive' with ambiguous/covering filters — measured")
+    report("DAG memory — replication blow-up under covering filters", lines)
+    # Host-only growth is modest (~6 nodes per filter path).
+    assert base <= HOSTS * 8
+    # Each covering filter replicates into every host subtree: the node
+    # count keeps climbing with the broad-filter count.
+    assert growth[4] > base * 1.5
+    assert growth[16] > growth[4]
+    assert growth[64] > growth[16]
+    # Roughly one replicated path per (broad filter x host subtree).
+    assert growth[64] - base > 30 * HOSTS
+
+
+def test_host_only_growth_is_linear(benchmark):
+    """Without covering filters, nodes grow linearly in filters."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    sizes = (500, 1000, 2000)
+    nodes = {}
+    for size in sizes:
+        table = DagFilterTable(width=32, check_ambiguity=False)
+        for flt in random_filters(size, seed=7, host_fraction=1.0):
+            table.install(FilterRecord(flt, gate="bench"))
+        nodes[size] = table.node_count()
+    per_filter = {s: nodes[s] / s for s in sizes}
+    report(
+        "DAG memory — host-only filters grow linearly",
+        [f"{s} filters: {nodes[s]} nodes ({per_filter[s]:.2f}/filter)"
+         for s in sizes],
+    )
+    # Nodes per filter is flat (within 20%) across a 4x size range.
+    values = list(per_filter.values())
+    assert max(values) / min(values) < 1.2

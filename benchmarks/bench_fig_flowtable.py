@@ -1,0 +1,170 @@
+"""Experiment E4 — flow-table performance (§5.2, §7).
+
+Paper claims reproduced here:
+
+* "in the best case, the IPv6 flow entry for a packet can be found in
+  1.3 µs (when the flow is cached in the flow table)" — we report the
+  modelled time of the cached path (hash 17 cycles + bucket + chain
+  accesses) and the wall-clock time of the Python implementation;
+* lookup cost stays flat as the table fills (hashing, 32768 buckets),
+  with collision chains growing only as occupancy approaches the bucket
+  count.
+"""
+
+import pytest
+
+from conftest import report
+from repro.aiu.flow_table import FlowTable
+from repro.sim.cost import Costs, CycleMeter, MemoryMeter, cycles_to_us
+from repro.workloads import synthetic_flows
+
+OCCUPANCIES = (128, 1024, 8192, 65536)
+
+
+def _filled_table(count, ipv6=False):
+    table = FlowTable(gate_count=3, buckets=32768)
+    flows = synthetic_flows(count, seed=count, ipv6=ipv6)
+    packets = [flow.packet() for flow in flows]
+    for packet in packets:
+        table.install(packet)
+    return table, packets
+
+
+def test_cached_lookup_modelled_cost(benchmark):
+    """The cached fast path, modelled on the paper's cost terms."""
+    table, packets = _filled_table(1024, ipv6=True)
+    meter = MemoryMeter()
+    cycles = CycleMeter()
+    for packet in packets[:256]:
+        table.lookup(packet, meter, cycles)
+    per_lookup_cycles = cycles.total / 256 + meter.accesses / 256 * Costs.MEMORY_ACCESS
+    modelled_us = cycles_to_us(per_lookup_cycles)
+    report(
+        "Flow table — cached lookup cost (IPv6)",
+        [
+            f"hash: {Costs.FLOW_HASH} cycles; memory accesses/lookup: "
+            f"{meter.accesses / 256:.2f}",
+            f"modelled cached lookup: {modelled_us:.3f} us "
+            f"(paper best case: 1.3 us)",
+        ],
+    )
+    assert modelled_us <= 1.3  # at least as fast as the paper's best case
+
+    index = {"i": 0}
+
+    def lookup_one():
+        packet = packets[index["i"] % 1024]
+        index["i"] += 1
+        table.lookup(packet)
+
+    benchmark(lookup_one)
+    benchmark.extra_info["modelled_us"] = round(modelled_us, 3)
+    benchmark.extra_info["paper_best_case_us"] = 1.3
+
+
+@pytest.mark.parametrize("occupancy", OCCUPANCIES)
+def test_lookup_flat_across_occupancy(benchmark, occupancy):
+    """Figure-style series: accesses per hit vs number of cached flows."""
+    table, packets = _filled_table(occupancy)
+    meter = MemoryMeter()
+    for packet in packets[: min(512, occupancy)]:
+        table.lookup(packet, meter)
+    sampled = min(512, occupancy)
+    accesses = meter.accesses / sampled
+    benchmark.extra_info["occupancy"] = occupancy
+    benchmark.extra_info["accesses_per_hit"] = round(accesses, 3)
+    report(
+        f"Flow table — occupancy {occupancy}",
+        [f"avg accesses per hit: {accesses:.3f} "
+         f"(bucket + chain; 32768 buckets)"],
+    )
+    # With 32768 buckets, chains stay short: even at 2x buckets the
+    # expected chain is ~2, far from O(n) degradation.
+    expected_chain = max(1.0, occupancy / 32768)
+    assert accesses <= 1 + 2 * expected_chain + 0.5
+
+    index = {"i": 0}
+
+    def lookup_one():
+        packet = packets[index["i"] % len(packets)]
+        index["i"] += 1
+        table.lookup(packet)
+
+    benchmark(lookup_one)
+
+
+def test_miss_cost_and_install(benchmark):
+    """Uncached flows: the miss detection itself is cheap (the expense
+    is the filter lookup, measured in E2/E5)."""
+    table, _packets = _filled_table(1024)
+    fresh = [flow.packet() for flow in synthetic_flows(512, seed=777)]
+    meter = MemoryMeter()
+    for packet in fresh:
+        table.lookup(packet, meter)
+    per_miss = meter.accesses / len(fresh)
+    report(
+        "Flow table — miss path",
+        [f"avg accesses per miss: {per_miss:.3f} (bucket probe + chain scan)"],
+    )
+    assert per_miss <= 2.0
+
+    def install_and_remove():
+        packet = fresh[0]
+        record = table.install(packet)
+        table.invalidate(record)
+
+    benchmark(install_and_remove)
+
+
+def test_flow_label_hash_variant(benchmark):
+    """§7.3's footnote ("IPv6 flow label NOT used") implies the cheaper
+    (src, label) hash exists; measured: 9 vs 17 cycles per lookup."""
+    labelled = FlowTable(gate_count=1, buckets=32768, use_flow_label=True)
+    flows = synthetic_flows(256, seed=5, ipv6=True)
+    packets = []
+    for i, flow in enumerate(flows):
+        packet = flow.packet(flow_label=i + 1)
+        labelled.install(packet)
+        packets.append(packet)
+    cycles = CycleMeter()
+    for packet in packets:
+        assert labelled.lookup(packet, cycles=cycles) is not None
+    per_lookup = cycles.breakdown()["flow_hash"] / len(packets)
+    report(
+        "Flow table — IPv6 flow-label hash variant",
+        [f"hash cycles/lookup: {per_lookup:.0f} "
+         f"(five-tuple fold: {Costs.FLOW_HASH})"],
+    )
+    assert per_lookup == Costs.FLOW_LABEL_HASH
+
+    index = {"i": 0}
+
+    def lookup_one():
+        labelled.lookup(packets[index["i"] % len(packets)])
+        index["i"] += 1
+
+    benchmark(lookup_one)
+
+
+def test_lru_recycling_under_cap(benchmark):
+    """§5.2: with the pool capped, the oldest records recycle; hit rate
+    degrades gracefully rather than failing."""
+    table = FlowTable(gate_count=1, buckets=1024, initial_records=64, max_records=256)
+    flows = synthetic_flows(512, seed=42)
+    packets = [flow.packet() for flow in flows]
+
+    def churn():
+        for packet in packets:
+            if table.lookup(packet) is None:
+                table.install(packet)
+
+    benchmark.pedantic(churn, rounds=3)
+    stats = table.stats()
+    report(
+        "Flow table — LRU recycling at cap",
+        [f"allocated: {stats['allocated']} (cap 256), active: {stats['active']}, "
+         f"recycled: {stats['recycled']}"],
+    )
+    assert stats["allocated"] <= 256
+    assert stats["recycled"] > 0
+    assert len(table) <= 256

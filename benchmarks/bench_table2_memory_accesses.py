@@ -1,0 +1,164 @@
+"""Experiment E2 — Table 2: worst-case memory accesses per filter lookup.
+
+The paper's accounting for one DAG filter-table lookup with the binary-
+search-on-prefix-lengths (BSPL) BMP engine:
+
+    Access to function pointer for BMP function       1
+    Access to function pointer for index hash          1
+    IP address lookup (2*log2(32) / 2*log2(128))   10/14
+    Port number lookup                                 2
+    Access to DAG edges                                6
+    Total                                          20/24
+
+"With a very large number of filters (in the order of 50000), it
+classifies IPv6 packets in 24 memory accesses" and the worst-case lookup
+time is accesses × 60 ns ≈ 1.4 µs (IPv6, ×number of gates).
+
+We build DAG tables with 50 000 filters per family, probe them with
+matching traffic, and check both the measured worst case and the
+per-row breakdown against the paper's bounds.
+"""
+
+import random
+
+import pytest
+
+from conftest import report
+from repro.aiu.dag import DagFilterTable
+from repro.aiu.records import FilterRecord
+from repro.net.addresses import IPV4_WIDTH, IPV6_WIDTH
+from repro.net.packet import Packet
+from repro.net.addresses import IPAddress
+from repro.sim.cost import MemoryMeter, memory_accesses_to_us
+from repro.workloads import matching_probe, random_filters
+
+FILTER_COUNT = 50_000
+PROBES = 400
+
+PAPER_ROWS = {
+    IPV4_WIDTH: {"fnptr_bmp": 1, "fnptr_hash": 1, "address": 10, "port": 2,
+                 "dag_edge": 6, "total": 20},
+    IPV6_WIDTH: {"fnptr_bmp": 1, "fnptr_hash": 1, "address": 14, "port": 2,
+                 "dag_edge": 6, "total": 24},
+}
+
+
+def _build_table(width: int):
+    # Mostly fully-specified filters (per-flow reservations) with a
+    # realistic mix of prefix lengths, like the paper's 50k scenario.
+    filters = random_filters(FILTER_COUNT - 64, width=width, seed=width,
+                             host_fraction=1.0)
+    filters += random_filters(64, width=width, seed=width + 1, host_fraction=0.0)
+    table = DagFilterTable(width=width, bmp_engine="bspl", check_ambiguity=False)
+    for flt in filters:
+        table.install(FilterRecord(flt, gate="bench"))
+    return table, filters
+
+
+def _packet_for(probe, width: int) -> Packet:
+    src, dst, proto, sport, dport = probe
+    packet = Packet(
+        src=IPAddress(src, width),
+        dst=IPAddress(dst, width),
+        protocol=proto,
+        src_port=sport,
+        dst_port=dport,
+    )
+    return packet
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {width: _build_table(width) for width in (IPV4_WIDTH, IPV6_WIDTH)}
+
+
+@pytest.mark.parametrize("width,family", [(IPV4_WIDTH, "IPv4"), (IPV6_WIDTH, "IPv6")])
+def test_table2_memory_accesses(benchmark, tables, width, family):
+    table, filters = tables[width]
+    rng = random.Random(99)
+    packets = [
+        _packet_for(matching_probe(flt, rng), width)
+        for flt in rng.sample(filters, PROBES)
+    ]
+    paper = PAPER_ROWS[width]
+
+    worst = MemoryMeter()
+    worst_total = 0
+    for packet in packets:
+        meter = MemoryMeter()
+        hit = table.lookup(packet, meter)
+        assert hit is not None
+        if meter.accesses > worst_total:
+            worst_total, worst = meter.accesses, meter
+
+    breakdown = worst.breakdown()
+    address = breakdown.get("waldvogel", 0)
+    rows = [
+        f"{'Access to function pointer for BMP function':<46} "
+        f"{breakdown.get('fnptr_bmp', 0):>3}   (paper {paper['fnptr_bmp']})",
+        f"{'Access to function pointer for index hash':<46} "
+        f"{breakdown.get('fnptr_hash', 0):>3}   (paper {paper['fnptr_hash']})",
+        f"{'IP address lookup (2 addresses, BSPL)':<46} "
+        f"{address:>3}   (paper {paper['address']})",
+        f"{'Port number lookup':<46} {breakdown.get('port', 0):>3}   (paper {paper['port']})",
+        f"{'Access to DAG edges':<46} {breakdown.get('dag_edge', 0):>3}   (paper {paper['dag_edge']})",
+        f"{'Total':<46} {worst_total:>3}   (paper {paper['total']})",
+        "",
+        f"worst-case lookup time @60ns/access: {memory_accesses_to_us(worst_total):.2f} us "
+        f"(paper: 1.4 us worst case for IPv6)",
+        f"filters installed: {len(table)}; DAG nodes: {table.node_count()}",
+    ]
+    report(f"Table 2 — memory accesses per filter lookup ({family})", rows)
+
+    # The paper's bound holds: the measured worst case never exceeds it.
+    assert worst_total <= paper["total"]
+    assert breakdown.get("fnptr_bmp", 0) == 1
+    assert breakdown.get("fnptr_hash", 0) == 1
+    assert breakdown.get("dag_edge", 0) == 6
+    assert breakdown.get("port", 0) == 2
+    assert address <= paper["address"]
+
+    # Benchmark the wall-clock lookup itself.
+    index = {"i": 0}
+
+    def lookup_one():
+        packet = packets[index["i"] % len(packets)]
+        index["i"] += 1
+        table.lookup(packet)
+
+    benchmark(lookup_one)
+    benchmark.extra_info["worst_case_accesses"] = worst_total
+    benchmark.extra_info["paper_bound"] = paper["total"]
+    benchmark.extra_info["modelled_worst_us"] = round(memory_accesses_to_us(worst_total), 3)
+
+
+def test_table2_bound_is_independent_of_filter_count(benchmark, tables):
+    """§5.1.2: the DAG's cost is O(fields), 'more or less independent of
+    the number of filters' — the bound is identical at 1k and 50k."""
+    width = IPV4_WIDTH
+    small = DagFilterTable(width=width, bmp_engine="bspl", check_ambiguity=False)
+    filters = random_filters(1000, width=width, seed=5, host_fraction=1.0)
+    for flt in filters:
+        small.install(FilterRecord(flt, gate="bench"))
+    rng = random.Random(1)
+
+    def measure(table, filter_pool):
+        worst = 0
+        for flt in rng.sample(filter_pool, 200):
+            meter = MemoryMeter()
+            table.lookup(_packet_for(matching_probe(flt, rng), width), meter)
+            worst = max(worst, meter.accesses)
+        return worst
+
+    worst_small = benchmark.pedantic(measure, args=(small, filters), rounds=1)
+    big_table, big_filters = tables[width]
+    worst_big = measure(big_table, big_filters)
+    report(
+        "Table 2 corollary — accesses vs filter count",
+        [f"worst case at  1k filters: {worst_small}",
+         f"worst case at 50k filters: {worst_big}",
+         "both within the fixed 20-access bound"],
+    )
+    assert worst_small <= 20 and worst_big <= 20
+    # 50x more filters adds at most a couple of BSPL probes.
+    assert worst_big - worst_small <= 4

@@ -1,0 +1,91 @@
+"""Experiment E3 — Table 3: overall packet processing time.
+
+Reproduces all four rows of the paper's Table 3 (§7.3): the unmodified
+best-effort kernel, the plugin architecture with empty plugins at three
+gates, NetBSD+ALTQ+DRR, and the plugin architecture with the DRR plugin.
+
+Paper's numbers (P6/233): 6460 / 6970 (+8%) / 8160 (+26%) / 8110 (+26%)
+cycles; 36 800 pkts/s for row 1.  The modelled-cycle columns should land
+on the same values and ordering; the pytest-benchmark timing additionally
+measures real Python wall time per packet for each kernel.
+"""
+
+import pytest
+
+from conftest import report
+from repro.kernels import (
+    build_altq_kernel,
+    build_besteffort_kernel,
+    build_drr_plugin_kernel,
+    build_plugin_kernel,
+    format_table3,
+    run_table3_workload,
+)
+from repro.sim.cost import CycleMeter, NULL_METER
+from repro.workloads import round_robin_trains, table3_flows
+
+BUILDERS = {
+    "besteffort": build_besteffort_kernel,
+    "plugin": build_plugin_kernel,
+    "altq_drr": build_altq_kernel,
+    "plugin_drr": build_drr_plugin_kernel,
+}
+
+PAPER_CYCLES = {"besteffort": 6460, "plugin": 6970, "altq_drr": 8160, "plugin_drr": 8110}
+
+
+@pytest.fixture(scope="module")
+def table3_results():
+    return {
+        key: run_table3_workload(builder(), repetitions=3)
+        for key, builder in BUILDERS.items()
+    }
+
+
+@pytest.mark.parametrize("key", list(BUILDERS))
+def test_table3_row(benchmark, key, table3_results):
+    """Each row: wall-time benchmark + modelled-cycle assertion."""
+    kernel = BUILDERS[key]()
+    packets = list(round_robin_trains(table3_flows(), 100))
+    for packet in packets[:3]:
+        kernel.process(packet, CycleMeter())
+    index = {"i": 0}
+
+    def one_packet():
+        packet = packets[index["i"] % len(packets)].copy()
+        packet.iif = "atm0"
+        index["i"] += 1
+        kernel.process(packet, NULL_METER)
+
+    benchmark(one_packet)
+    result = table3_results[key]
+    benchmark.extra_info["modelled_cycles"] = round(result.avg_cycles, 1)
+    benchmark.extra_info["modelled_us"] = round(result.avg_us, 2)
+    benchmark.extra_info["paper_cycles"] = PAPER_CYCLES[key]
+    benchmark.extra_info["throughput_pps_modelled"] = round(result.throughput_pps)
+    # Within 5% of the paper's cycle count for every row.
+    assert result.avg_cycles == pytest.approx(PAPER_CYCLES[key], rel=0.05)
+
+
+def test_table3_shape(benchmark, table3_results):
+    """The paper's relative claims, asserted together."""
+    benchmark.pedantic(lambda: None, rounds=1)  # keep under --benchmark-only
+    base = table3_results["besteffort"]
+    plugin = table3_results["plugin"]
+    altq = table3_results["altq_drr"]
+    plugin_drr = table3_results["plugin_drr"]
+    lines = [format_table3([base, plugin, altq, plugin_drr]),
+             "",
+             "paper:  6460 | 6970 (+8%) | 8160 (+26%) | 8110 (+26%); row1 36800 pkts/s"]
+    report("Table 3 — overall packet processing time", lines)
+    # ~8% modularity overhead (paper: 8%).
+    assert 0.06 <= plugin.overhead_vs(base) <= 0.10
+    # ~500 cycles of gate+flow-detection overhead (paper: "roughly 500").
+    assert 400 <= plugin.avg_cycles - base.avg_cycles <= 600
+    # Scheduling adds ~20-30% (paper: 20%-26% depending on the row read).
+    assert 0.15 <= altq.overhead_vs(base) <= 0.35
+    # The plugin DRR build is not slower than ALTQ ("we benefit only from
+    # faster hashing").
+    assert plugin_drr.avg_cycles <= altq.avg_cycles * 1.02
+    # Throughput column: paper reports 36 800 pkts/s for row 1.
+    assert base.throughput_pps == pytest.approx(36800, rel=0.05)

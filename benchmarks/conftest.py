@@ -1,0 +1,16 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints the paper-style table it reproduces (visible with
+``pytest benchmarks/ --benchmark-only -s`` and summarized in
+EXPERIMENTS.md) and stores the key numbers in ``benchmark.extra_info``.
+"""
+
+import pytest
+
+
+def report(title: str, lines) -> str:
+    """Format and emit one experiment's output block."""
+    body = "\n".join(lines if isinstance(lines, (list, tuple)) else [lines])
+    block = f"\n=== {title} ===\n{body}\n"
+    print(block)
+    return block

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Network monitoring with the statistics plugin (the paper's §2
+application: "network management applications, which typically need to
+monitor transit traffic ... it is important to be able to quickly and
+easily change the kinds of statistics being collected").
+
+A transit router counts per-flow volume on monitored prefixes; then the
+operator *swaps the collector live* to a size histogram without touching
+the data path.
+
+Run:  python examples/network_monitor.py
+"""
+
+import random
+
+from repro.core import Router
+from repro.mgr import PluginManager
+from repro.net.packet import make_tcp, make_udp
+
+
+def main() -> None:
+    router = Router(name="transit")
+    router.add_interface("atm0", prefix="10.0.0.0/8")
+    router.add_interface("atm1", prefix="20.0.0.0/8")
+
+    manager = PluginManager(router, output=print)
+    manager.run_script(
+        """
+        modload stats
+        create stats monitor collector=volume
+        # Monitor everything from the customer prefix, at the options gate
+        # (any gate works; the instance just counts).
+        bind monitor ip_options 10.0.0.0/8, *
+        """
+    )
+    monitor = manager.library.instance("monitor")
+
+    rng = random.Random(42)
+    flows = [
+        ("10.0.0.1", 5001, "web", make_tcp),
+        ("10.0.0.2", 5002, "dns", make_udp),
+        ("10.0.0.3", 5003, "video", make_udp),
+    ]
+    for _ in range(200):
+        src, sport, _label, make = rng.choice(flows)
+        size = rng.choice([64, 576, 1400])
+        packet = make(src, "20.0.0.1", sport, 80, payload_size=size, iif="atm0")
+        router.receive(packet)
+
+    print("\n=== per-flow volume (collector: volume) ===")
+    for key, record in sorted(monitor.report().items()):
+        src = ".".join(str(key[0] >> s & 255) for s in (24, 16, 8, 0))
+        print(f"flow {src}:{key[3]} -> packets={record['packets']:>4} "
+              f"bytes={record['bytes']:>7}")
+    totals = monitor.totals()
+    print(f"totals: {totals['flows']} flows, {totals['packets']} packets, "
+          f"{totals['bytes']} bytes")
+
+    # Live swap: "quickly and easily change the kinds of statistics".
+    print("\n=== switching collector to size histogram, live ===")
+    manager.run_command("msg stats set_collector instance=monitor collector=sizes")
+    for _ in range(200):
+        src, sport, _label, make = rng.choice(flows)
+        size = rng.choice([64, 576, 1400])
+        packet = make(src, "20.0.0.1", sport, 80, payload_size=size, iif="atm0")
+        router.receive(packet)
+    merged = {}
+    for record in monitor.report().values():
+        for bin_index, count in record.get("size_bins", {}).items():
+            merged[bin_index] = merged.get(bin_index, 0) + count
+    for bin_index in sorted(merged):
+        low, high = bin_index * 256, bin_index * 256 + 255
+        print(f"  {low:>5}-{high:<5} B : {'#' * (merged[bin_index] // 4)} "
+              f"({merged[bin_index]})")
+
+    print(f"\ndata-path overhead while monitoring: the flow cache served "
+          f"{router.aiu.stats()['hits']} of {router.counters['rx']} packets "
+          f"without any filter lookup")
+
+
+if __name__ == "__main__":
+    main()

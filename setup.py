@@ -1,0 +1,5 @@
+"""Shim so `python setup.py develop` works on offline boxes without the
+`wheel` package (pip's PEP 660 editable path needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

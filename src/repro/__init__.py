@@ -1,0 +1,56 @@
+"""Router Plugins (SIGCOMM 1998) — a Python reproduction.
+
+The most-used entry points are re-exported here; each subpackage has the
+full API (see ``README.md`` for the architecture overview and
+``DESIGN.md`` for the system inventory):
+
+>>> from repro import Router, PluginManager
+>>> router = Router()
+"""
+
+from .aiu import AIU, Filter, FlowTable, PortSpec
+from .core import (
+    DEFAULT_GATES,
+    Disposition,
+    Plugin,
+    PluginContext,
+    PluginControlUnit,
+    PluginInstance,
+    Router,
+    Verdict,
+)
+from .mgr import PLUGIN_REGISTRY, PluginManager, RouterPluginLibrary, run_script
+from .net import IPAddress, NetworkInterface, Packet, Prefix, make_tcp, make_udp
+from .sim import Costs, CycleMeter, EventLoop, MemoryMeter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIU",
+    "Filter",
+    "FlowTable",
+    "PortSpec",
+    "DEFAULT_GATES",
+    "Disposition",
+    "Plugin",
+    "PluginContext",
+    "PluginControlUnit",
+    "PluginInstance",
+    "Router",
+    "Verdict",
+    "PLUGIN_REGISTRY",
+    "PluginManager",
+    "RouterPluginLibrary",
+    "run_script",
+    "IPAddress",
+    "NetworkInterface",
+    "Packet",
+    "Prefix",
+    "make_tcp",
+    "make_udp",
+    "Costs",
+    "CycleMeter",
+    "EventLoop",
+    "MemoryMeter",
+    "__version__",
+]

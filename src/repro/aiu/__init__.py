@@ -1,0 +1,41 @@
+"""The Association Identification Unit: classifier, flow cache, bindings."""
+
+from .aiu import AIU, GateError, TABLE_KINDS
+from .dag import DagFilterTable, LEVELS
+from .filters import Filter, FilterError, FlowKey, PortSpec
+from .flow_table import DEFAULT_BUCKETS, FlowTable, INITIAL_RECORDS
+from .linear import LinearFilterTable
+from .matchers import (
+    AmbiguousFilterError,
+    ExactMatcher,
+    LevelMatcher,
+    PrefixMatcher,
+    RangeMatcher,
+    WILDCARD,
+)
+from .records import FilterRecord, FlowRecord, GateSlot
+
+__all__ = [
+    "AIU",
+    "GateError",
+    "TABLE_KINDS",
+    "DagFilterTable",
+    "LEVELS",
+    "Filter",
+    "FilterError",
+    "FlowKey",
+    "PortSpec",
+    "DEFAULT_BUCKETS",
+    "FlowTable",
+    "INITIAL_RECORDS",
+    "LinearFilterTable",
+    "AmbiguousFilterError",
+    "ExactMatcher",
+    "LevelMatcher",
+    "PrefixMatcher",
+    "RangeMatcher",
+    "WILDCARD",
+    "FilterRecord",
+    "FlowRecord",
+    "GateSlot",
+]

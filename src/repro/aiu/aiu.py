@@ -1,0 +1,280 @@
+"""The Association Identification Unit (AIU) — §5.
+
+"The AIU implements a packet classifier, fast flow detection, and
+provides the binding between plugin instances and filters."
+
+It owns one filter table per (gate, address family) and a single flow
+table.  The data-path contract mirrors §3.2 exactly:
+
+* ``classify(packet, gate)`` — called by the *first* gate a packet hits.
+  A flow-table hit returns the cached instance; a miss performs one
+  filter-table lookup **per gate** and creates a single flow entry
+  covering all gates, then stores the flow index (FIX) in the packet.
+* ``instance_for(packet, gate)`` — the gate macro for subsequent gates:
+  an indirect fetch through the packet's FIX, no classification at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.addresses import IPV4_WIDTH, IPV6_WIDTH
+from ..net.packet import Packet
+from ..sim.cost import NULL_METER
+from .dag import DagFilterTable
+from .filters import Filter
+from .flow_table import DEFAULT_BUCKETS, FlowTable, INITIAL_RECORDS
+from .linear import LinearFilterTable
+from .records import FilterRecord, FlowRecord, GateSlot
+
+TABLE_KINDS = {"dag": DagFilterTable, "linear": LinearFilterTable}
+
+
+def _filter_matches_key(flt: Filter, key) -> bool:
+    """Would this filter match packets of a cached flow?"""
+    version = 6 if key.src_width == IPV6_WIDTH else 4
+    family = flt.family
+    if family is not None and family != version:
+        return False
+    if not flt.src.is_wildcard and not (
+        flt.src.width == key.src_width and flt.src.matches(key.src)
+    ):
+        return False
+    if not flt.dst.is_wildcard and not (
+        flt.dst.width == key.src_width and flt.dst.matches(key.dst)
+    ):
+        return False
+    if flt.protocol is not None and flt.protocol != key.protocol:
+        return False
+    if not flt.sport.matches(key.sport) or not flt.dport.matches(key.dport):
+        return False
+    if flt.iif is not None and flt.iif != key.iif:
+        return False
+    return True
+
+
+class GateError(KeyError):
+    """Raised when a gate name is unknown to the AIU."""
+
+
+class AIU:
+    """Packet classifier + flow cache + filter/instance binding."""
+
+    def __init__(
+        self,
+        gates: Sequence[str],
+        table_kind: str = "dag",
+        bmp_engine: str = "patricia",
+        flow_buckets: int = DEFAULT_BUCKETS,
+        initial_records: int = INITIAL_RECORDS,
+        max_records: Optional[int] = None,
+        use_flow_cache: bool = True,
+    ):
+        if not gates:
+            raise ValueError("AIU needs at least one gate")
+        try:
+            self._table_factory = TABLE_KINDS[table_kind]
+        except KeyError as exc:
+            raise ValueError(f"unknown table kind {table_kind!r}") from exc
+        self.table_kind = table_kind
+        self.bmp_engine = bmp_engine
+        self.gates: Tuple[str, ...] = tuple(gates)
+        self._gate_index: Dict[str, int] = {g: i for i, g in enumerate(self.gates)}
+        if len(self._gate_index) != len(self.gates):
+            raise ValueError("duplicate gate names")
+        # (gate name, address width) -> filter table; created lazily.
+        self._tables: Dict[Tuple[str, int], object] = {}
+        self.flow_table = FlowTable(
+            gate_count=len(self.gates),
+            buckets=flow_buckets,
+            initial_records=initial_records,
+            max_records=max_records,
+        )
+        self.flow_table.on_remove = self._notify_flow_removed
+        self.filter_lookups = 0
+        # Ablation knob: with the cache off, every packet takes the full
+        # n-gate filter classification (benchmarks/bench_ablation_*).
+        self.use_flow_cache = use_flow_cache
+
+    # ------------------------------------------------------------------
+    # Gate bookkeeping
+    # ------------------------------------------------------------------
+    def gate_index(self, gate: str) -> int:
+        try:
+            return self._gate_index[gate]
+        except KeyError as exc:
+            raise GateError(f"unknown gate {gate!r}; known: {self.gates}") from exc
+
+    def _table(self, gate: str, width: int):
+        key = (gate, width)
+        table = self._tables.get(key)
+        if table is None:
+            if self._table_factory is DagFilterTable:
+                table = DagFilterTable(width=width, bmp_engine=self.bmp_engine)
+            else:
+                table = self._table_factory(width=width)
+            self._tables[key] = table
+        return table
+
+    def _tables_for_filter(self, gate: str, flt: Filter) -> List[object]:
+        family = flt.family
+        if family == 4:
+            return [self._table(gate, IPV4_WIDTH)]
+        if family == 6:
+            return [self._table(gate, IPV6_WIDTH)]
+        # Address-wildcard filters match both families (§3's filter model
+        # is family-agnostic when no prefix is given).
+        return [self._table(gate, IPV4_WIDTH), self._table(gate, IPV6_WIDTH)]
+
+    # ------------------------------------------------------------------
+    # Control path: filters and bindings (§3.1 steps 3 and 4)
+    # ------------------------------------------------------------------
+    def create_filter(
+        self,
+        gate: str,
+        flt,
+        instance: object = None,
+        priority: int = 0,
+    ) -> FilterRecord:
+        """Install a filter at a gate, optionally bound to an instance.
+
+        ``flt`` may be a :class:`Filter` or the paper's string notation.
+        """
+        self.gate_index(gate)
+        if isinstance(flt, str):
+            flt = Filter.parse(flt)
+        record = FilterRecord(flt, gate, instance, priority)
+        installed = []
+        try:
+            for table in self._tables_for_filter(gate, flt):
+                table.install(record)
+                installed.append(table)
+        except Exception:
+            for table in installed:
+                table.remove(record)
+            raise
+        # Live reconfiguration: cached flows the new filter could claim
+        # must re-classify, or they would keep their old bindings until
+        # cache expiry.  O(cached flows) on the control path.
+        self._purge_flows_matching(flt)
+        return record
+
+    def _purge_flows_matching(self, flt: Filter) -> None:
+        for record in list(self.flow_table):
+            if _filter_matches_key(flt, record.key):
+                self.flow_table.invalidate(record)
+
+    def bind(self, record: FilterRecord, instance: object) -> None:
+        """Bind (or rebind) a filter record to a plugin instance.
+
+        Cached flows derived from this filter are invalidated so the next
+        packet re-classifies against the new binding.
+        """
+        record.instance = instance
+        self.flow_table.invalidate_filter(record)
+
+    def remove_filter(self, record: FilterRecord) -> bool:
+        """Remove a filter and purge flow-table entries derived from it."""
+        removed = False
+        for table in self._tables_for_filter(record.gate, record.filter):
+            removed = table.remove(record) or removed
+        if removed:
+            self.flow_table.invalidate_filter(record)
+            record.active = False
+        return removed
+
+    def filters(self, gate: Optional[str] = None) -> List[FilterRecord]:
+        seen: List[FilterRecord] = []
+        for (table_gate, _w), table in self._tables.items():
+            if gate is not None and table_gate != gate:
+                continue
+            for record in table.records():
+                if record not in seen:
+                    seen.append(record)
+        return seen
+
+    def filter_count(self, gate: Optional[str] = None) -> int:
+        return len(self.filters(gate))
+
+    # ------------------------------------------------------------------
+    # Data path (§3.2)
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        packet: Packet,
+        gate: str,
+        meter=NULL_METER,
+        cycles=NULL_METER,
+        now: float = 0.0,
+    ) -> Tuple[Optional[object], FlowRecord]:
+        """Full AIU call made by the first gate a packet encounters.
+
+        Returns ``(plugin_instance_or_None, flow_record)`` and stores the
+        flow index in ``packet.fix``.
+        """
+        index = self.gate_index(gate)
+        if self.use_flow_cache:
+            record = self.flow_table.lookup(packet, meter, cycles, now)
+            if record is None:
+                record = self._classify_uncached(packet, meter, now)
+        else:
+            record = self._classify_uncached(packet, meter, now, install=False)
+        packet.fix = record
+        return record.slot(index).instance, record
+
+    def _classify_uncached(
+        self, packet: Packet, meter, now: float, install: bool = True
+    ) -> FlowRecord:
+        """The slow path: n filter-table lookups, one new flow entry."""
+        width = IPV6_WIDTH if packet.is_ipv6 else IPV4_WIDTH
+        if install:
+            record = self.flow_table.install(packet, now)
+        else:
+            from .filters import FlowKey
+
+            record = FlowRecord(FlowKey.of(packet), len(self.gates), now)
+        for gate_name in self.gates:
+            table = self._tables.get((gate_name, width))
+            slot = record.slot(self._gate_index[gate_name])
+            if table is None:
+                continue
+            self.filter_lookups += 1
+            filter_record = table.lookup(packet, meter)
+            if filter_record is None:
+                continue
+            slot.instance = filter_record.instance
+            slot.filter_record = filter_record
+            if install:
+                # Backrefs (for purge-on-filter-removal) only for records
+                # that actually live in the flow table.
+                filter_record.flows.add(record)
+            binder = getattr(filter_record.instance, "on_flow_created", None)
+            if binder is not None:
+                binder(record, slot)
+        return record
+
+    def instance_for(
+        self, packet: Packet, gate: str, cycles=NULL_METER
+    ) -> Optional[object]:
+        """The gate macro for gates after the first: FIX indirection only."""
+        record: Optional[FlowRecord] = packet.fix
+        if record is None:
+            instance, _record = self.classify(packet, gate, cycles=cycles)
+            return instance
+        return record.slot(self.gate_index(gate)).instance
+
+    # ------------------------------------------------------------------
+    # Flow-removal notification plumbing (§4 optional callbacks)
+    # ------------------------------------------------------------------
+    def _notify_flow_removed(self, record: FlowRecord) -> None:
+        for slot in record.slots:
+            if slot.instance is not None:
+                callback = getattr(slot.instance, "on_flow_removed", None)
+                if callback is not None:
+                    callback(record, slot)
+
+    def stats(self) -> dict:
+        data = self.flow_table.stats()
+        data["filter_lookups"] = self.filter_lookups
+        data["filters"] = self.filter_count()
+        return data

@@ -1,0 +1,319 @@
+"""Filters and flow keys — the paper's six-tuple flow specifications.
+
+A filter is the six-tuple ⟨source address, destination address, protocol,
+source port, destination port, incoming interface⟩ where address fields
+may be partially wildcarded by prefix masks, ports may be exact values,
+ranges, or wildcards, and protocol/interface may be exact or wildcard
+(§3, "Efficient mapping of individual data packets to flows").
+
+``Filter.parse`` accepts the paper's textual notation::
+
+    <129.*.*.*, 192.94.233.10, TCP, *, *, *>
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..net.addresses import IPV4_WIDTH, IPV6_WIDTH, Prefix
+from ..net.headers import protocol_number
+from ..net.packet import Packet
+
+PORT_MAX = 65535
+
+_filter_seq = itertools.count(1)
+
+
+class FilterError(ValueError):
+    """Raised for malformed filter specifications."""
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """A source/destination port constraint: wildcard, exact, or range."""
+
+    low: int = 0
+    high: int = PORT_MAX
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high <= PORT_MAX:
+            raise FilterError(f"bad port range {self.low}-{self.high}")
+
+    @classmethod
+    def wildcard(cls) -> "PortSpec":
+        return cls(0, PORT_MAX)
+
+    @classmethod
+    def exact(cls, port: int) -> "PortSpec":
+        return cls(port, port)
+
+    @classmethod
+    def parse(cls, text: str) -> "PortSpec":
+        text = text.strip()
+        if text == "*":
+            return cls.wildcard()
+        if "-" in text:
+            low_text, _, high_text = text.partition("-")
+            try:
+                return cls(int(low_text), int(high_text))
+            except ValueError as exc:
+                raise FilterError(f"bad port range {text!r}") from exc
+        try:
+            return cls.exact(int(text))
+        except ValueError as exc:
+            raise FilterError(f"bad port {text!r}") from exc
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.low == 0 and self.high == PORT_MAX
+
+    @property
+    def is_exact(self) -> bool:
+        return self.low == self.high
+
+    @property
+    def span(self) -> int:
+        return self.high - self.low + 1
+
+    @property
+    def specificity(self) -> int:
+        """Larger is more specific: exact=65535, wildcard=0."""
+        return PORT_MAX + 1 - self.span
+
+    def matches(self, port: int) -> bool:
+        return self.low <= port <= self.high
+
+    def covers(self, other: "PortSpec") -> bool:
+        return self.low <= other.low and other.high <= self.high
+
+    def overlaps(self, other: "PortSpec") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def partially_overlaps(self, other: "PortSpec") -> bool:
+        """Overlapping but with neither containing the other (ambiguous)."""
+        return self.overlaps(other) and not self.covers(other) and not other.covers(self)
+
+    def __str__(self) -> str:
+        if self.is_wildcard:
+            return "*"
+        if self.is_exact:
+            return str(self.low)
+        return f"{self.low}-{self.high}"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """The paper's six-tuple filter.
+
+    ``protocol`` and ``iif`` of ``None`` mean wildcard.  Address wildcards
+    are zero-length prefixes.  A filter's address family is taken from its
+    prefixes; a filter whose addresses are both wildcards applies to both
+    IPv4 and IPv6 (the AIU installs it in both per-family tables).
+    """
+
+    src: Prefix = field(default_factory=lambda: Prefix.default())
+    dst: Prefix = field(default_factory=lambda: Prefix.default())
+    protocol: Optional[int] = None
+    sport: PortSpec = field(default_factory=PortSpec.wildcard)
+    dport: PortSpec = field(default_factory=PortSpec.wildcard)
+    iif: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (
+            not self.src.is_wildcard
+            and not self.dst.is_wildcard
+            and self.src.width != self.dst.width
+        ):
+            raise FilterError("src/dst prefixes from different address families")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Filter":
+        """Parse the paper's notation: ``<129.*, 192.94.233.10, TCP, *, *, *>``.
+
+        Shorter tuples are allowed; missing trailing fields are wildcards.
+        """
+        body = text.strip()
+        if body.startswith("<") and body.endswith(">"):
+            body = body[1:-1]
+        parts = [p.strip() for p in body.split(",")]
+        if len(parts) > 6:
+            raise FilterError(f"too many fields in filter {text!r}")
+        parts += ["*"] * (6 - len(parts))
+        src_text, dst_text, proto_text, sport_text, dport_text, iif_text = parts
+        src = Prefix.parse(src_text) if src_text else Prefix.default()
+        dst = Prefix.parse(dst_text) if dst_text else Prefix.default()
+        # Align wildcard widths so family checks behave.
+        if src.is_wildcard and not dst.is_wildcard:
+            src = Prefix.default(dst.width)
+        if dst.is_wildcard and not src.is_wildcard:
+            dst = Prefix.default(src.width)
+        protocol = None if proto_text in ("*", "") else protocol_number(proto_text)
+        iif = None if iif_text in ("*", "") else iif_text
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            sport=PortSpec.parse(sport_text),
+            dport=PortSpec.parse(dport_text),
+            iif=iif,
+        )
+
+    @classmethod
+    def for_flow(cls, packet: Packet) -> "Filter":
+        """The fully-specified filter matching exactly this packet's flow."""
+        return cls(
+            src=Prefix.host(packet.src),
+            dst=Prefix.host(packet.dst),
+            protocol=packet.protocol,
+            sport=PortSpec.exact(packet.src_port),
+            dport=PortSpec.exact(packet.dst_port),
+            iif=packet.iif,
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    @property
+    def family(self) -> Optional[int]:
+        """4, 6, or None when both addresses are wildcards."""
+        if not self.src.is_wildcard:
+            return 6 if self.src.width == IPV6_WIDTH else 4
+        if not self.dst.is_wildcard:
+            return 6 if self.dst.width == IPV6_WIDTH else 4
+        return None
+
+    @property
+    def is_fully_specified(self) -> bool:
+        """True for an end-to-end application flow filter (no wildcards,
+        except possibly the incoming interface, per §3)."""
+        return (
+            self.src.is_host
+            and self.dst.is_host
+            and self.protocol is not None
+            and self.sport.is_exact
+            and self.dport.is_exact
+        )
+
+    def matches(self, packet: Packet) -> bool:
+        """True if the packet belongs to the set of flows this filter names."""
+        family = self.family
+        if family is not None and family != packet.version:
+            return False
+        if not self.src.is_wildcard and not self.src.matches(packet.src):
+            return False
+        if not self.dst.is_wildcard and not self.dst.matches(packet.dst):
+            return False
+        if self.protocol is not None and self.protocol != packet.protocol:
+            return False
+        if not self.sport.matches(packet.src_port):
+            return False
+        if not self.dport.matches(packet.dst_port):
+            return False
+        if self.iif is not None and self.iif != packet.iif:
+            return False
+        return True
+
+    def specificity(self) -> Tuple[int, int, int, int, int, int]:
+        """Lexicographic most-specific ordering, field order as in §5.1.
+
+        Earlier fields dominate: a /32 source beats any destination
+        specificity, mirroring the DAG's level-by-level descent.
+        """
+        return (
+            self.src.length,
+            self.dst.length,
+            0 if self.protocol is None else 1,
+            self.sport.specificity,
+            self.dport.specificity,
+            0 if self.iif is None else 1,
+        )
+
+    def covers(self, other: "Filter") -> bool:
+        """True if every flow matched by ``other`` is matched by ``self``."""
+        if self.family is not None and other.family is not None:
+            if self.family != other.family:
+                return False
+        elif self.family is not None and other.family is None:
+            return False
+        if not self.src.is_wildcard and not self.src.covers(other.src):
+            return False
+        if not self.dst.is_wildcard and not self.dst.covers(other.dst):
+            return False
+        if self.protocol is not None and self.protocol != other.protocol:
+            return False
+        if not self.sport.covers(other.sport):
+            return False
+        if not self.dport.covers(other.dport):
+            return False
+        if self.iif is not None and self.iif != other.iif:
+            return False
+        return True
+
+    def __str__(self) -> str:
+        proto = "*" if self.protocol is None else str(self.protocol)
+        iif = "*" if self.iif is None else self.iif
+        return f"<{self.src}, {self.dst}, {proto}, {self.sport}, {self.dport}, {iif}>"
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """A fully-specified flow identity — a flow-table key.
+
+    Per §5.2 the hash uses the five header fields; the incoming interface
+    is carried in the record but (like the paper's implementation) is not
+    part of the hash input.
+    """
+
+    src: int
+    src_width: int
+    dst: int
+    protocol: int
+    sport: int
+    dport: int
+    iif: Optional[str] = None
+
+    @classmethod
+    def of(cls, packet: Packet) -> "FlowKey":
+        return cls(
+            src=packet.src.value,
+            src_width=packet.src.width,
+            dst=packet.dst.value,
+            protocol=packet.protocol,
+            sport=packet.src_port,
+            dport=packet.dst_port,
+            iif=packet.iif,
+        )
+
+    def hash_index(self, mask: int) -> int:
+        """The paper's cheap fold-and-mask hash (17 cycles on a Pentium).
+
+        XOR-folds the five-tuple into 32 bits, then masks to the bucket
+        array size (``mask`` = buckets - 1, buckets a power of two).
+        """
+        folded = self.src ^ self.dst
+        # Fold 128-bit addresses down to 32 bits.
+        while folded >> 32:
+            folded = (folded & 0xFFFFFFFF) ^ (folded >> 32)
+        folded ^= (self.protocol << 24) ^ (self.sport << 12) ^ self.dport
+        folded ^= folded >> 16
+        return folded & mask
+
+    def matches_packet(self, packet: Packet) -> bool:
+        """Full six-tuple confirmation (§3.2: a flow table entry
+        "unambiguously identifies a particular flow", all six fields).
+        The hash input is the five-tuple; the chain compare includes the
+        incoming interface so iif-scoped policies never alias."""
+        return (
+            packet.src.value == self.src
+            and packet.src.width == self.src_width
+            and packet.dst.value == self.dst
+            and packet.protocol == self.protocol
+            and packet.src_port == self.sport
+            and packet.dst_port == self.dport
+            and packet.iif == self.iif
+        )

@@ -1,0 +1,48 @@
+"""Best-matching-prefix (BMP) engines — one of the paper's plugin types.
+
+Three interchangeable longest-prefix-match implementations:
+
+* :class:`PatriciaTrie` — the "slower but freely available" BSD-style
+  path-compressed binary trie.
+* :class:`BinarySearchOnLengths` — Waldvogel's hash-per-length scheme,
+  the fast engine behind the paper's Table 2 numbers.
+* :class:`MultibitTrie` — controlled prefix expansion, cited by the paper
+  as the state of the art for DAG address levels.
+
+``ENGINES`` maps the names used by the plugin manager to factories.
+"""
+
+from .base import BMPEngine
+from .cpe import MultibitTrie, DEFAULT_STRIDES
+from .patricia import PatriciaTrie
+from .waldvogel import BinarySearchOnLengths
+
+ENGINES = {
+    "patricia": PatriciaTrie,
+    "bspl": BinarySearchOnLengths,      # Binary Search on Prefix Lengths
+    "waldvogel": BinarySearchOnLengths,
+    "cpe": MultibitTrie,
+    "multibit": MultibitTrie,
+}
+
+
+def make_engine(name: str, width: int) -> BMPEngine:
+    """Instantiate a BMP engine by registry name for one address family."""
+    try:
+        factory = ENGINES[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown BMP engine {name!r}; known: {sorted(set(ENGINES))}"
+        ) from exc
+    return factory(width)
+
+
+__all__ = [
+    "BMPEngine",
+    "BinarySearchOnLengths",
+    "DEFAULT_STRIDES",
+    "ENGINES",
+    "MultibitTrie",
+    "PatriciaTrie",
+    "make_engine",
+]

@@ -1,0 +1,61 @@
+"""Common interface for best-matching-prefix (BMP) engines.
+
+BMP engines are one of the paper's four plugin types: they serve both the
+routing table and the address levels of the AIU's DAG classifier.  Every
+engine is built for one address family (``width`` = 32 or 128) and maps
+prefixes to opaque values.
+
+All engines accept a meter object (:class:`repro.sim.cost.MemoryMeter`)
+on lookups and report one ``access`` per dependent memory reference, so
+the Table 2 experiment can count worst-case accesses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from ..net.addresses import Prefix
+from ..sim.cost import NULL_METER
+
+
+class BMPEngine(ABC):
+    """Abstract longest-prefix-match engine for one address family."""
+
+    def __init__(self, width: int):
+        if width not in (32, 128):
+            raise ValueError(f"unsupported address width {width}")
+        self.width = width
+
+    def _check(self, prefix: Prefix) -> None:
+        if prefix.width != self.width:
+            raise ValueError(
+                f"prefix {prefix} has width {prefix.width}, engine is /{self.width}"
+            )
+
+    @abstractmethod
+    def insert(self, prefix: Prefix, value: object) -> None:
+        """Insert or replace the value bound to ``prefix``."""
+
+    @abstractmethod
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove ``prefix``; returns True if it was present."""
+
+    @abstractmethod
+    def lookup_entry(
+        self, addr: int, meter=NULL_METER
+    ) -> Optional[Tuple[Prefix, object]]:
+        """Return the (prefix, value) of the longest match for ``addr``."""
+
+    def lookup(self, addr: int, meter=NULL_METER) -> Optional[object]:
+        """Return the value of the longest matching prefix, or None."""
+        entry = self.lookup_entry(addr, meter)
+        return entry[1] if entry is not None else None
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of installed prefixes."""
+
+    def worst_case_accesses(self) -> int:
+        """Upper bound on memory accesses for one lookup (engine-specific)."""
+        raise NotImplementedError

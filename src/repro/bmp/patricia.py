@@ -1,0 +1,173 @@
+"""A path-compressed binary trie (PATRICIA) for longest-prefix match.
+
+This is the paper's "slower but freely available" BMP plugin (§5.1.1):
+the classic BSD radix-style structure.  Each edge carries a bit-string
+label; prefixes are stored at the node whose root-path spells the prefix.
+Lookup walks the address's bits downward, remembering the last node that
+held an entry — that entry is the longest match.
+
+Worst case: one node visit (= one memory access) per distinct branch
+point along the address, bounded by the address width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..net.addresses import Prefix
+from ..sim.cost import NULL_METER
+from .base import BMPEngine
+
+
+class _Node:
+    """One trie node.  ``label_value/label_len`` is the compressed edge
+    leading *into* this node (the root has an empty label)."""
+
+    __slots__ = ("label_value", "label_len", "children", "entry")
+
+    def __init__(self, label_value: int = 0, label_len: int = 0):
+        self.label_value = label_value
+        self.label_len = label_len
+        self.children: Dict[int, "_Node"] = {}
+        self.entry: Optional[Tuple[Prefix, object]] = None
+
+
+def _top_bit(value: int, length: int) -> int:
+    """The most significant bit of a right-aligned ``length``-bit value."""
+    return (value >> (length - 1)) & 1
+
+
+def _common_bits(a: int, alen: int, b: int, blen: int) -> int:
+    """Length of the common leading run of two right-aligned bit strings."""
+    n = min(alen, blen)
+    if n == 0:
+        return 0
+    a_top = a >> (alen - n)
+    b_top = b >> (blen - n)
+    diff = a_top ^ b_top
+    if diff == 0:
+        return n
+    return n - diff.bit_length()
+
+
+class PatriciaTrie(BMPEngine):
+    """Path-compressed binary trie keyed on prefix bits."""
+
+    def __init__(self, width: int):
+        super().__init__(width)
+        self._root = _Node()
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, value: object) -> None:
+        self._check(prefix)
+        node = self._root
+        bits = prefix.key_bits()
+        remaining = prefix.length
+        while remaining > 0:
+            branch = _top_bit(bits, remaining)
+            child = node.children.get(branch)
+            if child is None:
+                leaf = _Node(bits & ((1 << remaining) - 1), remaining)
+                leaf.entry = (prefix, value)
+                node.children[branch] = leaf
+                self._count += 1
+                return
+            shared = _common_bits(
+                bits & ((1 << remaining) - 1), remaining, child.label_value, child.label_len
+            )
+            if shared == child.label_len:
+                # Fully consumed the child's label; descend.
+                node = child
+                remaining -= shared
+                bits &= (1 << remaining) - 1 if remaining else 0
+                continue
+            # Split the child's edge at the shared-bit boundary.
+            mid = _Node(child.label_value >> (child.label_len - shared), shared)
+            child.label_len -= shared
+            child.label_value &= (1 << child.label_len) - 1
+            mid.children[_top_bit(child.label_value, child.label_len)] = child
+            node.children[branch] = mid
+            node = mid
+            remaining -= shared
+            bits &= (1 << remaining) - 1 if remaining else 0
+        if node.entry is None:
+            self._count += 1
+        node.entry = (prefix, value)
+
+    def remove(self, prefix: Prefix) -> bool:
+        self._check(prefix)
+        node = self._find_node(prefix)
+        if node is None or node.entry is None or node.entry[0] != prefix:
+            return False
+        node.entry = None
+        self._count -= 1
+        # No structural cleanup: empty internal nodes are harmless and the
+        # paper's kernel similarly leaves radix innards in place.
+        return True
+
+    def _find_node(self, prefix: Prefix) -> Optional[_Node]:
+        node = self._root
+        bits = prefix.key_bits()
+        remaining = prefix.length
+        while remaining > 0:
+            branch = _top_bit(bits, remaining)
+            child = node.children.get(branch)
+            if child is None or child.label_len > remaining:
+                return None
+            shared = _common_bits(
+                bits & ((1 << remaining) - 1), remaining, child.label_value, child.label_len
+            )
+            if shared != child.label_len:
+                return None
+            node = child
+            remaining -= shared
+            bits &= (1 << remaining) - 1 if remaining else 0
+        return node
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup_entry(self, addr: int, meter=NULL_METER) -> Optional[Tuple[Prefix, object]]:
+        node = self._root
+        best = node.entry
+        remaining = self.width
+        bits = addr
+        meter.access(1, "patricia")
+        while remaining > 0:
+            branch = _top_bit(bits, remaining)
+            child = node.children.get(branch)
+            if child is None or child.label_len > remaining:
+                break
+            want = (bits >> (remaining - child.label_len)) & (
+                (1 << child.label_len) - 1
+            )
+            meter.access(1, "patricia")
+            if want != child.label_value:
+                break
+            node = child
+            remaining -= child.label_len
+            bits &= (1 << remaining) - 1 if remaining else 0
+            if node.entry is not None:
+                best = node.entry
+        return best
+
+    def __len__(self) -> int:
+        return self._count
+
+    def worst_case_accesses(self) -> int:
+        # One access per branch point; bounded by the address width + root.
+        return self.width + 1
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / debugging)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Tuple[Prefix, object]]:
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.entry is not None:
+                yield node.entry
+            stack.extend(node.children.values())

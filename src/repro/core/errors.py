@@ -1,0 +1,23 @@
+"""Exception types for the plugin framework."""
+
+from __future__ import annotations
+
+
+class PluginError(RuntimeError):
+    """Base class for plugin-framework failures."""
+
+
+class UnknownPluginError(PluginError, KeyError):
+    """A plugin name or code is not registered with the PCU."""
+
+
+class UnknownMessageError(PluginError):
+    """A plugin received a message type it does not implement."""
+
+
+class InstanceError(PluginError):
+    """Instance lifecycle misuse (double free, unknown instance, ...)."""
+
+
+class ConfigurationError(PluginError):
+    """Bad configuration arguments to a plugin or the router."""

@@ -1,0 +1,72 @@
+"""Gate definitions (§3.2).
+
+"A gate is a point in the IP core where the flow of execution branches
+off to an instance of a plugin. ... In our current implementation, we use
+gates for IPv6 option processing, IP security, packet scheduling, and for
+the packet filter's best-matching prefix algorithm."
+
+Gate names double as AIU gate identifiers and match the plugin type
+names, preserving the paper's "direct correspondence between a gate ...
+and the plugin type".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .plugin import (
+    TYPE_IP_OPTIONS,
+    TYPE_IP_SECURITY,
+    TYPE_PACKET_SCHEDULING,
+    TYPE_ROUTING,
+)
+
+GATE_IP_OPTIONS = "ip_options"
+GATE_IP_SECURITY = "ip_security"
+GATE_PACKET_SCHEDULING = "packet_scheduling"
+GATE_ROUTING = "routing"
+
+#: The gates of the paper's measured configuration (Table 3 uses "three
+#: gates which called empty plugins").
+DEFAULT_GATES: Tuple[str, ...] = (
+    GATE_IP_OPTIONS,
+    GATE_IP_SECURITY,
+    GATE_PACKET_SCHEDULING,
+)
+
+#: With the §8 future-work "routing integrated into the packet
+#: classifier" enabled (L4 switching), a routing gate joins the path.
+GATES_WITH_L4_ROUTING: Tuple[str, ...] = (
+    GATE_IP_OPTIONS,
+    GATE_IP_SECURITY,
+    GATE_ROUTING,
+    GATE_PACKET_SCHEDULING,
+)
+
+GATE_PLUGIN_TYPES = {
+    GATE_IP_OPTIONS: TYPE_IP_OPTIONS,
+    GATE_IP_SECURITY: TYPE_IP_SECURITY,
+    GATE_PACKET_SCHEDULING: TYPE_PACKET_SCHEDULING,
+    GATE_ROUTING: TYPE_ROUTING,
+}
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of one gate in the IP core."""
+
+    name: str
+    plugin_type: int
+    position: int
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def gate_specs(gates) -> Tuple[GateSpec, ...]:
+    """Build GateSpec descriptors for an ordered gate-name sequence."""
+    return tuple(
+        GateSpec(name=g, plugin_type=GATE_PLUGIN_TYPES.get(g, 0), position=i)
+        for i, g in enumerate(gates)
+    )

@@ -1,0 +1,63 @@
+"""The standardized plugin message set (§4).
+
+"Plugins must ... reply to a set of messages.  These messages fall into
+two categories: standardized messages, and plugin-specific messages."
+
+The four standardized types are module constants; anything else is a
+plugin-specific message dispatched to the plugin's custom handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Create an instance; args hold the instance configuration.
+MSG_CREATE_INSTANCE = "create_instance"
+#: Remove all instance-specific data structures.
+MSG_FREE_INSTANCE = "free_instance"
+#: Register an instance with the AIU, bound to a supplied filter.
+MSG_REGISTER_INSTANCE = "register_instance"
+#: Remove the binding between a filter and the instance.
+MSG_DEREGISTER_INSTANCE = "deregister_instance"
+
+STANDARD_MESSAGES = (
+    MSG_CREATE_INSTANCE,
+    MSG_FREE_INSTANCE,
+    MSG_REGISTER_INSTANCE,
+    MSG_DEREGISTER_INSTANCE,
+)
+
+
+@dataclass
+class Message:
+    """A control-path message delivered to a plugin's callback."""
+
+    type: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_standard(self) -> bool:
+        return self.type in STANDARD_MESSAGES
+
+    def __repr__(self) -> str:
+        return f"Message({self.type}, {self.args})"
+
+
+def create_instance(**config) -> Message:
+    return Message(MSG_CREATE_INSTANCE, config)
+
+
+def free_instance(instance) -> Message:
+    return Message(MSG_FREE_INSTANCE, {"instance": instance})
+
+
+def register_instance(instance, flt, gate=None, priority=0) -> Message:
+    return Message(
+        MSG_REGISTER_INSTANCE,
+        {"instance": instance, "filter": flt, "gate": gate, "priority": priority},
+    )
+
+
+def deregister_instance(instance, record=None) -> Message:
+    return Message(MSG_DEREGISTER_INSTANCE, {"instance": instance, "record": record})

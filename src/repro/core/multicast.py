@@ -1,0 +1,93 @@
+"""Multicast forwarding state — the intro's "enhanced routing
+functionality (level 3 and level 4 routing and switching, QoS routing,
+**multicast**)".
+
+A :class:`MulticastTable` maps (source, group) — with (*, G) wildcards —
+to an output-interface list plus an optional expected upstream interface
+(the RPF check).  The router replicates matching packets to every
+downstream interface except the arrival one; each copy runs the
+scheduling gate independently, so per-flow QoS applies per branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.addresses import IPAddress, Prefix
+
+
+@dataclass
+class MulticastRoute:
+    """One (S, G) or (*, G) entry."""
+
+    group: IPAddress
+    out_interfaces: List[str]
+    source: Optional[Prefix] = None     # None = (*, G)
+    expected_iif: Optional[str] = None  # RPF: where this group must arrive
+
+    def matches_source(self, src: IPAddress) -> bool:
+        if self.source is None:
+            return True
+        return self.source.width == src.width and self.source.matches(src)
+
+    @property
+    def specificity(self) -> int:
+        return -1 if self.source is None else self.source.length
+
+    def __repr__(self) -> str:
+        src = "*" if self.source is None else str(self.source)
+        return f"MulticastRoute(({src}, {self.group}) -> {self.out_interfaces})"
+
+
+class MulticastTable:
+    """Longest-source-match (S, G) lookup over per-group entry lists."""
+
+    def __init__(self):
+        self._groups: Dict[IPAddress, List[MulticastRoute]] = {}
+
+    def add(
+        self,
+        group,
+        out_interfaces: List[str],
+        source=None,
+        expected_iif: Optional[str] = None,
+    ) -> MulticastRoute:
+        if isinstance(group, str):
+            group = IPAddress.parse(group)
+        if not group.is_multicast:
+            raise ValueError(f"{group} is not a multicast group address")
+        if isinstance(source, str):
+            source = Prefix.parse(source)
+        route = MulticastRoute(
+            group=group,
+            out_interfaces=list(out_interfaces),
+            source=source,
+            expected_iif=expected_iif,
+        )
+        entries = self._groups.setdefault(group, [])
+        entries.append(route)
+        entries.sort(key=lambda r: -r.specificity)
+        return route
+
+    def remove(self, route: MulticastRoute) -> bool:
+        entries = self._groups.get(route.group, [])
+        if route in entries:
+            entries.remove(route)
+            if not entries:
+                del self._groups[route.group]
+            return True
+        return False
+
+    def lookup(self, src: IPAddress, group: IPAddress) -> Optional[MulticastRoute]:
+        """Most source-specific entry for (src, group)."""
+        for route in self._groups.get(group, []):
+            if route.matches_source(src):
+                return route
+        return None
+
+    def groups(self) -> List[IPAddress]:
+        return list(self._groups)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._groups.values())

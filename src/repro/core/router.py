@@ -1,0 +1,487 @@
+"""The EISR router: the IP core, its gates, and the data path (§3.2).
+
+The core is deliberately small — exactly the paper's claim that only "a
+relatively stable part (called the core) ... mainly responsible for
+interacting with the network hardware and for demultiplexing packets to
+specific modules" lives outside plugins.  The per-packet sequence is:
+
+1. driver receive,
+2. IP input validation (hop limit, local delivery demux),
+3. the pre-routing gates (IPv6 options, IP security) — each a "gate
+   macro": FIX check, AIU call on the first gate only, indirect call
+   into the bound plugin instance,
+4. route lookup (stock table, or the L4-switching routing gate when
+   configured),
+5. the packet-scheduling gate at the output interface, then driver
+   transmit.
+
+Every step charges the cycle cost model so Table 3 style experiments can
+read modelled cycles per packet.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..aiu import AIU
+from ..aiu.records import FlowRecord
+from ..bmp import make_engine
+from ..net.fragment import FragmentationError, fragment_v4
+from ..net.icmp import (
+    IcmpRateLimiter,
+    destination_unreachable,
+    packet_too_big,
+    time_exceeded,
+)
+from ..net.interfaces import NetworkInterface
+from ..net.packet import Packet
+from ..net.routing import Route, RoutingTable
+from ..sim.cost import Costs, CycleMeter, MemoryMeter, NULL_METER
+from ..sim.events import EventLoop
+from .gates import DEFAULT_GATES, GATE_PACKET_SCHEDULING, GATE_ROUTING
+from .pcu import PluginControlUnit
+from .plugin import PluginContext, Verdict
+
+
+class Disposition:
+    """What the router did with a received packet."""
+
+    FORWARDED = "forwarded"
+    QUEUED = "queued"            # handed to a scheduler instance
+    LOCAL = "local"
+    DROPPED_TTL = "dropped_ttl"
+    DROPPED_NO_ROUTE = "dropped_no_route"
+    DROPPED_BY_PLUGIN = "dropped_by_plugin"
+    DROPPED_LOCAL_PROTO = "dropped_local_proto"
+    DROPPED_TOO_BIG = "dropped_too_big"
+    CONSUMED = "consumed"        # taken over entirely by a plugin
+
+
+class Router:
+    """An extended integrated services router built on the plugin core."""
+
+    def __init__(
+        self,
+        name: str = "router",
+        gates: Sequence[str] = DEFAULT_GATES,
+        bmp_engine: str = "patricia",
+        table_kind: str = "dag",
+        flow_buckets: int = 32768,
+        max_flows: Optional[int] = None,
+        loop: Optional[EventLoop] = None,
+        use_flow_cache: bool = True,
+        send_icmp_errors: bool = True,
+    ):
+        self.name = name
+        self.gates: Tuple[str, ...] = tuple(gates)
+        self.aiu = AIU(
+            self.gates,
+            table_kind=table_kind,
+            bmp_engine=bmp_engine,
+            flow_buckets=flow_buckets,
+            max_records=max_flows,
+            use_flow_cache=use_flow_cache,
+        )
+        self.pcu = PluginControlUnit(aiu=self.aiu, router=self)
+        self.routing_table = RoutingTable(
+            lpm_factory=lambda width: make_engine(bmp_engine, width)
+        )
+        from .multicast import MulticastTable
+
+        self.multicast_table = MulticastTable()
+        self.interfaces: Dict[str, NetworkInterface] = {}
+        self.local_addresses: set = set()
+        # Interface name -> the router's own address on that link.
+        self.interface_addresses: Dict[str, object] = {}
+        self._protocol_handlers: Dict[int, Callable] = {}
+        # Per-interface output scheduler instances (None = direct output).
+        self._schedulers: Dict[str, object] = {}
+        self._tx_busy: Dict[str, bool] = {}
+        self.loop = loop
+        self.counters: Counter = Counter()
+        self.send_icmp_errors = send_icmp_errors
+        self._icmp_limiter = IcmpRateLimiter()
+        #: Optional per-packet walk recorder (see repro.core.tracing).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Topology / configuration
+    # ------------------------------------------------------------------
+    def add_interface(
+        self,
+        name: str,
+        address: Optional[str] = None,
+        prefix: Optional[str] = None,
+        mtu: int = 9180,
+        rate_bps: float = 155_520_000,
+    ) -> NetworkInterface:
+        """Attach a port.  ``address`` makes the router reachable on it;
+        ``prefix`` installs the directly connected route."""
+        if name in self.interfaces:
+            raise ValueError(f"duplicate interface {name!r}")
+        iface = NetworkInterface(name, mtu=mtu, rate_bps=rate_bps)
+        self.interfaces[name] = iface
+        self._tx_busy[name] = False
+        if address is not None:
+            from ..net.addresses import IPAddress
+
+            parsed = IPAddress.parse(address)
+            self.local_addresses.add(parsed)
+            self.interface_addresses[name] = parsed
+        if prefix is not None:
+            self.routing_table.add(prefix, name)
+        if self.loop is not None:
+            iface.on_deliver = self._make_rx_handler(name)
+        return iface
+
+    def interface(self, name: str) -> NetworkInterface:
+        return self.interfaces[name]
+
+    def set_scheduler(self, interface: str, instance) -> None:
+        """Bind a packet-scheduler plugin instance to an interface's
+        output (§6: "packet scheduling plugin instances are chosen per
+        interface")."""
+        if interface not in self.interfaces:
+            raise ValueError(f"unknown interface {interface!r}")
+        self._schedulers[interface] = instance
+
+    def scheduler(self, interface: str):
+        return self._schedulers.get(interface)
+
+    def register_protocol_handler(self, protocol: int, handler: Callable) -> None:
+        """Deliver locally-addressed packets of ``protocol`` to a daemon
+        (the analogue of a raw socket bound by RSVP/SSP/routed)."""
+        self._protocol_handlers[protocol] = handler
+
+    def attach_loop(self, loop: EventLoop) -> None:
+        self.loop = loop
+        for name, iface in self.interfaces.items():
+            iface.on_deliver = self._make_rx_handler(name)
+
+    def _make_rx_handler(self, ifname: str):
+        def on_deliver(at_time: float, packet: Packet) -> None:
+            # Clamp: a sender working from a stale timestamp must not
+            # schedule the arrival before the loop's present.
+            self.loop.schedule_at(max(at_time, self.loop.now), self._rx_event, packet)
+
+        return on_deliver
+
+    def _rx_event(self, packet: Packet) -> None:
+        self.receive(packet, now=self.loop.now)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, now: float = 0.0, cycles=NULL_METER) -> str:
+        """Run one packet through the full data path (§3.2)."""
+        disposition = self._receive(packet, now, cycles)
+        if self.tracer is not None:
+            self.tracer.on_done(packet, disposition)
+        return disposition
+
+    def _receive(self, packet: Packet, now: float, cycles) -> str:
+        cycles.charge(Costs.DRIVER_RX, "driver_rx")
+        cycles.charge(Costs.IP_INPUT, "ip_input")
+        self.counters["rx"] += 1
+        if self.tracer is not None:
+            self.tracer.on_receive(packet)
+
+        # Pre-routing gates (everything except routing & scheduling).
+        # These run before the local-delivery demux, as in BSD: inbound
+        # IPsec processing applies to packets addressed to the router
+        # itself (tunnel endpoints), and firewall plugins see everything.
+        for gate in self.gates:
+            if gate in (GATE_PACKET_SCHEDULING, GATE_ROUTING):
+                continue
+            verdict, _instance = self._run_gate(packet, gate, now, cycles)
+            if verdict == Verdict.DROP:
+                self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
+                return Disposition.DROPPED_BY_PLUGIN
+            if verdict == Verdict.CONSUMED:
+                self.counters[Disposition.CONSUMED] += 1
+                return Disposition.CONSUMED
+
+        if packet.dst.is_multicast:
+            return self._multicast_forward(packet, now, cycles)
+        if packet.dst in self.local_addresses:
+            return self._deliver_local(packet, now)
+        if packet.ttl <= 1:
+            self.counters[Disposition.DROPPED_TTL] += 1
+            self._send_icmp(time_exceeded(packet, self._icmp_source(packet)), now)
+            return Disposition.DROPPED_TTL
+
+        route = self._route(packet, now, cycles)
+        if route is None:
+            self.counters[Disposition.DROPPED_NO_ROUTE] += 1
+            self._send_icmp(
+                destination_unreachable(packet, self._icmp_source(packet)), now
+            )
+            return Disposition.DROPPED_NO_ROUTE
+
+        packet.ttl -= 1
+        cycles.charge(Costs.IP_FORWARD, "ip_forward")
+        return self._output(packet, route.interface, now, cycles)
+
+    def _route(self, packet: Packet, now: float, cycles) -> Optional[Route]:
+        """Route lookup: the L4-switching gate may have already resolved
+        the route during classification ("we get QoS-based routing/Level 4
+        switching for free", §8); otherwise consult the routing table."""
+        if GATE_ROUTING in self.gates:
+            verdict, _ = self._run_gate(packet, GATE_ROUTING, now, cycles)
+            if verdict == Verdict.DROP:
+                return None
+            route = packet.annotations.get("route")
+            if route is not None:
+                return route
+        cycles.charge(Costs.ROUTE_LOOKUP, "route_lookup")
+        route = self.routing_table.lookup(packet.dst)
+        if self.tracer is not None:
+            self.tracer.on_route(packet, route)
+        return route
+
+    def _output(self, packet: Packet, oif: str, now: float, cycles) -> str:
+        iface = self.interfaces.get(oif)
+        if iface is None:
+            self.counters[Disposition.DROPPED_NO_ROUTE] += 1
+            return Disposition.DROPPED_NO_ROUTE
+
+        if packet.length > iface.mtu:
+            if packet.is_ipv6 or packet.annotations.get("df"):
+                # IPv6 (and DF-marked v4) is never fragmented in transit:
+                # signal Packet Too Big / Fragmentation Needed instead.
+                self.counters[Disposition.DROPPED_TOO_BIG] += 1
+                self._send_icmp(
+                    packet_too_big(packet, self._icmp_source(packet), iface.mtu), now
+                )
+                return Disposition.DROPPED_TOO_BIG
+            try:
+                fragments = fragment_v4(packet, iface.mtu)
+            except FragmentationError:
+                self.counters[Disposition.DROPPED_TOO_BIG] += 1
+                return Disposition.DROPPED_TOO_BIG
+            self.counters["fragmented"] += 1
+            result = Disposition.FORWARDED
+            for fragment in fragments:
+                result = self._output(fragment, oif, now, cycles)
+            return result
+
+        if GATE_PACKET_SCHEDULING in self.gates or oif in self._schedulers:
+            instance = None
+            if GATE_PACKET_SCHEDULING in self.gates:
+                verdict, instance = self._run_gate(
+                    packet, GATE_PACKET_SCHEDULING, now, cycles, oif=oif
+                )
+                if verdict == Verdict.DROP:
+                    self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
+                    return Disposition.DROPPED_BY_PLUGIN
+                if verdict == Verdict.CONSUMED:
+                    # The consuming gate instance becomes this interface's
+                    # scheduler if none was explicitly bound.
+                    self._schedulers.setdefault(oif, instance)
+                    self._kick(oif, now, cycles)
+                    self.counters[Disposition.QUEUED] += 1
+                    return Disposition.QUEUED
+            if instance is None and oif in self._schedulers:
+                scheduler = self._schedulers[oif]
+                if scheduler is not None:
+                    ctx = PluginContext(
+                        router=self, gate=GATE_PACKET_SCHEDULING, now=now,
+                        cycles=cycles, out_interface=oif,
+                    )
+                    verdict = scheduler.process(packet, ctx)
+                    if verdict == Verdict.CONSUMED:
+                        self._kick(oif, now, cycles)
+                        self.counters[Disposition.QUEUED] += 1
+                        return Disposition.QUEUED
+                    if verdict == Verdict.DROP:
+                        self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
+                        return Disposition.DROPPED_BY_PLUGIN
+
+        cycles.charge(Costs.DRIVER_TX, "driver_tx")
+        iface.output(packet, now)
+        self.counters[Disposition.FORWARDED] += 1
+        return Disposition.FORWARDED
+
+    def _run_gate(
+        self, packet: Packet, gate: str, now: float, cycles, oif: Optional[str] = None
+    ) -> Tuple[str, Optional[object]]:
+        """The gate macro (§3.2): FIX fast path, AIU call otherwise."""
+        cycles.charge(Costs.GATE_CHECK, "gate_check")
+        record: Optional[FlowRecord] = packet.fix
+        if record is None:
+            cycles.charge(Costs.AIU_CLASSIFY_CALL, "aiu_call")
+            meter = MemoryMeter(cycle_meter=cycles, label="classification")
+            instance, record = self.aiu.classify(
+                packet, gate, meter=meter, cycles=cycles, now=now
+            )
+            cycles.charge_memory(1, "fix_store")
+        else:
+            cycles.charge_memory(1, "fix_fetch")
+            instance = record.slot(self.aiu.gate_index(gate)).instance
+        if instance is None:
+            if self.tracer is not None:
+                self.tracer.on_gate(packet, gate, None, Verdict.CONTINUE)
+            return Verdict.CONTINUE, None
+        cycles.charge(Costs.INDIRECT_CALL, "plugin_call")
+        ctx = PluginContext(
+            router=self,
+            gate=gate,
+            now=now,
+            cycles=cycles,
+            slot=record.slot(self.aiu.gate_index(gate)),
+            flow=record,
+            out_interface=oif,
+        )
+        try:
+            verdict = instance.process(packet, ctx)
+            if self.tracer is not None:
+                self.tracer.on_gate(packet, gate, instance, verdict)
+            return verdict, instance
+        except Exception:
+            # Fault containment: a misbehaving plugin must not take the
+            # router down.  The packet is dropped and the fault counted;
+            # the kernel analogue is the plugin sandboxing the paper's
+            # framework makes possible by confining code behind gates.
+            self.counters["plugin_faults"] += 1
+            return Verdict.DROP, instance
+
+    # ------------------------------------------------------------------
+    # Output scheduling
+    # ------------------------------------------------------------------
+    def _kick(self, oif: str, now: float, cycles=NULL_METER) -> None:
+        """Drain the interface's scheduler, respecting link pacing."""
+        iface = self.interfaces[oif]
+        scheduler = self._scheduler_object(oif)
+        if scheduler is None:
+            return
+        dequeue_cost = getattr(scheduler, "dequeue_cost", 0)
+        if self.loop is None:
+            while True:
+                at = max(now, iface.next_free)
+                packet = scheduler.dequeue(at)
+                if packet is None:
+                    return
+                cycles.charge(dequeue_cost, "sched_dequeue")
+                cycles.charge(Costs.DRIVER_TX, "driver_tx")
+                iface.output(packet, at)
+                self.counters["tx_scheduled"] += 1
+            # unreachable
+        if not self._tx_busy[oif]:
+            self._tx_busy[oif] = True
+            self.loop.schedule_at(max(now, iface.next_free), self._tx_one, oif)
+
+    def _tx_one(self, oif: str) -> None:
+        iface = self.interfaces[oif]
+        scheduler = self._scheduler_object(oif)
+        now = self.loop.now
+        packet = None if scheduler is None else scheduler.dequeue(now)
+        if packet is None:
+            self._tx_busy[oif] = False
+            return
+        done = iface.output(packet, now)
+        self.counters["tx_scheduled"] += 1
+        self.loop.schedule_at(done, self._tx_one, oif)
+
+    def _scheduler_object(self, oif: str):
+        """The object with a ``dequeue`` for this interface: either the
+        bound per-interface scheduler instance or the last consuming
+        gate instance that registered itself."""
+        return self._schedulers.get(oif)
+
+    # ------------------------------------------------------------------
+    # Local traffic
+    # ------------------------------------------------------------------
+    def _deliver_local(self, packet: Packet, now: float) -> str:
+        handler = self._protocol_handlers.get(packet.protocol)
+        if handler is None:
+            self.counters[Disposition.DROPPED_LOCAL_PROTO] += 1
+            return Disposition.DROPPED_LOCAL_PROTO
+        handler(packet, self, now)
+        self.counters[Disposition.LOCAL] += 1
+        return Disposition.LOCAL
+
+    def _multicast_forward(self, packet: Packet, now: float, cycles) -> str:
+        """Replicate a multicast packet to the group's downstream
+        interfaces (minus the arrival interface), with the RPF check."""
+        route = self.multicast_table.lookup(packet.src, packet.dst)
+        if route is None:
+            self.counters[Disposition.DROPPED_NO_ROUTE] += 1
+            return Disposition.DROPPED_NO_ROUTE
+        if route.expected_iif is not None and packet.iif != route.expected_iif:
+            self.counters["multicast_rpf_drops"] += 1
+            return Disposition.DROPPED_NO_ROUTE
+        if packet.ttl <= 1:
+            self.counters[Disposition.DROPPED_TTL] += 1
+            return Disposition.DROPPED_TTL
+        cycles.charge(Costs.IP_FORWARD, "ip_forward")
+        replicated = 0
+        result = Disposition.DROPPED_NO_ROUTE
+        for oif in route.out_interfaces:
+            if oif == packet.iif:
+                continue  # never echo back toward the source
+            copy = packet.copy()
+            copy.iif = packet.iif
+            copy.ttl = packet.ttl - 1
+            result = self._output(copy, oif, now, cycles)
+            replicated += 1
+        if replicated:
+            self.counters["multicast_replicated"] += replicated
+            self.counters["multicast_forwarded"] += 1
+            return Disposition.FORWARDED
+        self.counters[Disposition.DROPPED_NO_ROUTE] += 1
+        return result
+
+    def _icmp_source(self, packet: Packet):
+        """A local address for an ICMP error: prefer the address of the
+        interface the packet arrived on (what traceroute displays)."""
+        if packet.iif is not None:
+            address = self.interface_addresses.get(packet.iif)
+            if address is not None and address.width == packet.src.width:
+                return address
+        for address in self.local_addresses:
+            if address.width == packet.src.width:
+                return address
+        return None
+
+    def _send_icmp(self, error: Optional[Packet], now: float) -> None:
+        if error is None or not self.send_icmp_errors:
+            return
+        if self._icmp_limiter is not None and not self._icmp_limiter.allow(now):
+            self.counters["icmp_suppressed"] += 1
+            return
+        self.counters["icmp_sent"] += 1
+        self.originate(error, now)
+
+    def originate(self, packet: Packet, now: float = 0.0) -> str:
+        """Send a locally generated packet (daemon control traffic)."""
+        route = self.routing_table.lookup(packet.dst)
+        if route is None:
+            self.counters[Disposition.DROPPED_NO_ROUTE] += 1
+            return Disposition.DROPPED_NO_ROUTE
+        return self._output(packet, route.interface, now, NULL_METER)
+
+    # ------------------------------------------------------------------
+    # Pull-mode processing (no event loop)
+    # ------------------------------------------------------------------
+    def poll_and_process(self, now: Optional[float] = None, cycles=NULL_METER) -> List[str]:
+        """Drain every interface inbox through the data path."""
+        results = []
+        for iface in self.interfaces.values():
+            for packet in iface.poll(now):
+                results.append(
+                    self.receive(packet, now=packet.arrival_time, cycles=cycles)
+                )
+        return results
+
+    def measure_packet(self, packet: Packet, now: float = 0.0) -> CycleMeter:
+        """Run one packet with a fresh cycle meter; returns the meter."""
+        meter = CycleMeter()
+        self.receive(packet, now=now, cycles=meter)
+        return meter
+
+    def __repr__(self) -> str:
+        return (
+            f"Router({self.name!r}, gates={list(self.gates)}, "
+            f"interfaces={sorted(self.interfaces)})"
+        )

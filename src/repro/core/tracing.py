@@ -1,0 +1,119 @@
+"""Per-packet data-path tracing — "why did this packet do that?"
+
+Attach a :class:`Tracer` to a router and every packet's walk is
+recorded: each gate it hit, which plugin instance (if any) saw it, the
+verdict, the route chosen, and the final disposition.  The render is a
+human-readable walk matching the paper's Figure 3 narration.
+
+    tracer = Tracer()
+    router.tracer = tracer
+    router.receive(pkt)
+    print(tracer.render(pkt))
+
+Tracing costs one branch per gate when disabled; enable it for
+debugging, not for benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..net.packet import Packet
+
+
+@dataclass
+class TraceEvent:
+    """One step of a packet's walk through the data path."""
+
+    kind: str                    # "rx", "gate", "route", "output", "done"
+    detail: str
+    gate: Optional[str] = None
+    instance: Optional[str] = None
+    verdict: Optional[str] = None
+
+    def render(self) -> str:
+        if self.kind == "gate":
+            who = self.instance or "(no instance bound)"
+            return f"gate {self.gate}: {who} -> {self.verdict}"
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class PacketTrace:
+    packet_id: int
+    summary: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [self.summary]
+        lines.extend(f"  {event.render()}" for event in self.events)
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Collects packet walks; bounded to the most recent ``capacity``."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._traces: Dict[int, PacketTrace] = {}
+        self._order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Hooks called by the router
+    # ------------------------------------------------------------------
+    def on_receive(self, packet: Packet) -> None:
+        trace = PacketTrace(packet.packet_id, summary=f"trace {packet!r}")
+        self._traces[packet.packet_id] = trace
+        self._order.append(packet.packet_id)
+        while len(self._order) > self.capacity:
+            dropped = self._order.pop(0)
+            self._traces.pop(dropped, None)
+        trace.events.append(
+            TraceEvent("rx", f"arrived on {packet.iif} ttl={packet.ttl}")
+        )
+
+    def on_gate(self, packet: Packet, gate: str, instance, verdict: str) -> None:
+        trace = self._traces.get(packet.packet_id)
+        if trace is None:
+            return
+        name = getattr(instance, "name", None) if instance is not None else None
+        trace.events.append(
+            TraceEvent("gate", "", gate=gate, instance=name, verdict=verdict)
+        )
+
+    def on_route(self, packet: Packet, route) -> None:
+        trace = self._traces.get(packet.packet_id)
+        if trace is None:
+            return
+        detail = "no route" if route is None else (
+            f"{route.prefix} dev {route.interface}"
+            + (f" via {route.next_hop}" if route.next_hop else "")
+        )
+        trace.events.append(TraceEvent("route", detail))
+
+    def on_done(self, packet: Packet, disposition: str) -> None:
+        trace = self._traces.get(packet.packet_id)
+        if trace is None:
+            return
+        trace.events.append(TraceEvent("done", disposition))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def trace_for(self, packet: Packet) -> Optional[PacketTrace]:
+        return self._traces.get(packet.packet_id)
+
+    def render(self, packet: Packet) -> str:
+        trace = self.trace_for(packet)
+        if trace is None:
+            return f"no trace for packet #{packet.packet_id}"
+        return trace.render()
+
+    def last(self) -> Optional[PacketTrace]:
+        if not self._order:
+            return None
+        return self._traces[self._order[-1]]
+
+    def __len__(self) -> int:
+        return len(self._traces)

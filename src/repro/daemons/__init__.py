@@ -1,0 +1,24 @@
+"""Control-plane daemons: SSP, RSVP-lite, and routed, plus topology glue."""
+
+from .igmp import IGMPDaemon, Membership, PROTO_IGMP
+from .routed import LearnedRoute, RIP_PORT, RouteDaemon
+from .rsvp import PathState, ResvState, RSVPDaemon, RSVPError
+from .ssp import Reservation, SSPDaemon, SSPError
+from .topology import Topology
+
+__all__ = [
+    "IGMPDaemon",
+    "Membership",
+    "PROTO_IGMP",
+    "LearnedRoute",
+    "RIP_PORT",
+    "RouteDaemon",
+    "PathState",
+    "ResvState",
+    "RSVPDaemon",
+    "RSVPError",
+    "Reservation",
+    "SSPDaemon",
+    "SSPError",
+    "Topology",
+]

@@ -1,0 +1,219 @@
+"""An RSVP-lite daemon (the paper was "in the process of porting an RSVP
+implementation"; we implement the protocol's router-side core).
+
+Receiver-oriented, per RFC 2205's shape:
+
+* **PATH** messages travel downstream from the sender; each router
+  records path state (session → previous RSVP hop) and forwards.
+* **RESV** messages travel upstream along the recorded path; each router
+  installs the reservation (scheduling-gate filter + DRR weight) and
+  forwards toward the sender.
+* Both kinds are **soft state** with periodic refresh; ``sweep`` expires
+  anything not refreshed within the hold time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.gates import GATE_PACKET_SCHEDULING
+from ..core.router import Router
+from ..net.addresses import IPAddress
+from ..net.headers import PROTO_RSVP
+from ..net.packet import Packet
+from ..sched.drr import DrrInstance
+
+DEFAULT_HOLD = 90.0
+
+
+class RSVPError(RuntimeError):
+    """Path/reservation processing failure."""
+
+
+@dataclass
+class PathState:
+    session: str
+    sender: str
+    dst: str
+    prev_hop: Optional[str]          # address of the upstream RSVP hop
+    in_iface: Optional[str]
+    refreshed_at: float = 0.0
+
+
+@dataclass
+class ResvState:
+    session: str
+    flowspec: str
+    rate_bps: float
+    filter_record: object
+    refreshed_at: float = 0.0
+
+
+class RSVPDaemon:
+    """One router's RSVP agent."""
+
+    def __init__(
+        self,
+        router: Router,
+        neighbors: Optional[Dict[str, IPAddress]] = None,
+        hold_time: float = DEFAULT_HOLD,
+    ):
+        self.router = router
+        self.neighbors = dict(neighbors or {})
+        self.hold_time = hold_time
+        self.path_state: Dict[str, PathState] = {}
+        self.resv_state: Dict[str, ResvState] = {}
+        self.malformed = 0
+        router.register_protocol_handler(PROTO_RSVP, self._on_packet)
+
+    # ------------------------------------------------------------------
+    # Endpoint API
+    # ------------------------------------------------------------------
+    def send_path(self, session: str, sender: str, dst: str, now: float = 0.0) -> None:
+        """Originate a PATH at the sender-side router."""
+        self._handle_path(
+            {"op": "path", "session": session, "sender": sender, "dst": dst,
+             "prev_hop": None},
+            in_iface=None,
+            now=now,
+        )
+
+    def send_resv(self, session: str, flowspec: str, rate_bps: float, now: float = 0.0) -> None:
+        """Originate a RESV at the receiver-side router."""
+        self._handle_resv(
+            {"op": "resv", "session": session, "flowspec": flowspec, "rate_bps": rate_bps},
+            now=now,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire handling
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet, router: Router, now: float) -> None:
+        try:
+            message = json.loads(packet.payload.decode("utf-8"))
+            op = message["op"]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            self.malformed += 1
+            return
+        try:
+            if op == "path":
+                self._handle_path(message, in_iface=packet.iif, now=now)
+            elif op == "resv":
+                self._handle_resv(message, now=now)
+            else:
+                self.malformed += 1
+        except (KeyError, RSVPError):
+            self.malformed += 1
+
+    # ------------------------------------------------------------------
+    # PATH downstream
+    # ------------------------------------------------------------------
+    def _handle_path(self, message: dict, in_iface: Optional[str], now: float) -> None:
+        session = message["session"]
+        state = self.path_state.get(session)
+        if state is None:
+            state = PathState(
+                session=session,
+                sender=message["sender"],
+                dst=message["dst"],
+                prev_hop=message.get("prev_hop"),
+                in_iface=in_iface,
+            )
+            self.path_state[session] = state
+        state.prev_hop = message.get("prev_hop")
+        state.in_iface = in_iface
+        state.refreshed_at = now
+        # Forward downstream with ourselves as the previous hop.
+        route = self.router.routing_table.lookup(message["dst"])
+        if route is None:
+            return
+        neighbor = self.neighbors.get(route.interface)
+        if neighbor is None:
+            return  # we are the egress; the receiver reserves from here
+        my_address = self._address_on(route.interface, neighbor)
+        onward = dict(message)
+        onward["prev_hop"] = str(my_address)
+        self._send(neighbor, onward, now)
+
+    # ------------------------------------------------------------------
+    # RESV upstream
+    # ------------------------------------------------------------------
+    def _handle_resv(self, message: dict, now: float) -> None:
+        session = message["session"]
+        path = self.path_state.get(session)
+        if path is None:
+            raise RSVPError(f"{self.router.name}: RESV for unknown session {session!r}")
+        state = self.resv_state.get(session)
+        if state is None:
+            record = self._install(message, path)
+            state = ResvState(
+                session=session,
+                flowspec=message["flowspec"],
+                rate_bps=message["rate_bps"],
+                filter_record=record,
+            )
+            self.resv_state[session] = state
+        state.refreshed_at = now
+        if path.prev_hop is not None:
+            self._send(IPAddress.parse(path.prev_hop), message, now)
+
+    def _install(self, message: dict, path: PathState):
+        route = self.router.routing_table.lookup(path.dst)
+        if route is None:
+            raise RSVPError(f"{self.router.name}: no route for session {path.session!r}")
+        scheduler = self.router.scheduler(route.interface)
+        if not isinstance(scheduler, DrrInstance):
+            raise RSVPError(
+                f"{self.router.name}/{route.interface} has no DRR scheduler"
+            )
+        record = self.router.aiu.create_filter(
+            GATE_PACKET_SCHEDULING, message["flowspec"], instance=scheduler
+        )
+        scheduler.reserve(record, message["rate_bps"])
+        return record
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _address_on(self, iface: Optional[str], fallback: IPAddress) -> IPAddress:
+        if iface is not None:
+            address = self.router.interface_addresses.get(iface)
+            if address is not None and address.width == fallback.width:
+                return address
+        for address in self.router.local_addresses:
+            if address.width == fallback.width:
+                return address
+        return fallback
+
+    def _send(self, dst: IPAddress, message: dict, now: float) -> None:
+        source = self._address_on(None, dst)
+        packet = Packet(
+            src=source,
+            dst=dst,
+            protocol=PROTO_RSVP,
+            payload=json.dumps(message).encode("utf-8"),
+        )
+        self.router.originate(packet, now)
+
+    # ------------------------------------------------------------------
+    # Soft state
+    # ------------------------------------------------------------------
+    def sweep(self, now: float) -> int:
+        """Expire path and reservation state past the hold time."""
+        removed = 0
+        for session in [
+            s for s, st in self.resv_state.items()
+            if now - st.refreshed_at > self.hold_time
+        ]:
+            state = self.resv_state.pop(session)
+            self.router.aiu.remove_filter(state.filter_record)
+            removed += 1
+        for session in [
+            s for s, st in self.path_state.items()
+            if now - st.refreshed_at > self.hold_time
+        ]:
+            del self.path_state[session]
+            removed += 1
+        return removed

@@ -1,0 +1,77 @@
+"""Multi-router topology builder for control-plane experiments.
+
+Wires :class:`~repro.core.router.Router` instances together with
+point-to-point links, tracks per-interface addresses, and exposes the
+neighbor map the daemons (SSP, RSVP, routed) need — the static
+equivalent of what hello protocols would discover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.router import Router
+from ..net.addresses import IPAddress
+from ..sim.events import EventLoop
+
+
+class Topology:
+    """A set of routers plus the links and neighbor tables between them."""
+
+    def __init__(self, loop: Optional[EventLoop] = None):
+        self.loop = loop or EventLoop()
+        self.routers: Dict[str, Router] = {}
+        # router name -> interface name -> neighbor's address on that link
+        self.neighbors: Dict[str, Dict[str, IPAddress]] = {}
+        # router name -> interface name -> neighbor router name
+        self.neighbor_names: Dict[str, Dict[str, str]] = {}
+
+    def add_router(self, name: str, **kwargs) -> Router:
+        if name in self.routers:
+            raise ValueError(f"duplicate router {name!r}")
+        router = Router(name=name, loop=self.loop, **kwargs)
+        self.routers[name] = router
+        self.neighbors[name] = {}
+        self.neighbor_names[name] = {}
+        return router
+
+    def link(
+        self,
+        a: str,
+        a_iface: str,
+        a_addr: str,
+        b: str,
+        b_iface: str,
+        b_addr: str,
+        prefix: str,
+        delay: float = 0.001,
+        rate_bps: float = 155_520_000,
+    ) -> None:
+        """Connect two routers with a /prefix transfer network."""
+        router_a, router_b = self.routers[a], self.routers[b]
+        iface_a = router_a.add_interface(a_iface, address=a_addr, prefix=prefix, rate_bps=rate_bps)
+        iface_b = router_b.add_interface(b_iface, address=b_addr, prefix=prefix, rate_bps=rate_bps)
+        iface_a.connect(iface_b, delay=delay)
+        self.neighbors[a][a_iface] = IPAddress.parse(b_addr)
+        self.neighbors[b][b_iface] = IPAddress.parse(a_addr)
+        self.neighbor_names[a][a_iface] = b
+        self.neighbor_names[b][b_iface] = a
+
+    def stub(
+        self,
+        router: str,
+        iface: str,
+        address: str,
+        prefix: str,
+        rate_bps: float = 155_520_000,
+    ):
+        """Attach a stub (edge) network with no neighbor router."""
+        return self.routers[router].add_interface(
+            iface, address=address, prefix=prefix, rate_bps=rate_bps
+        )
+
+    def neighbors_of(self, router: str) -> Dict[str, IPAddress]:
+        return dict(self.neighbors[router])
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.loop.run(until=until)

@@ -1,0 +1,55 @@
+"""Table 3 row 3: NetBSD with ALTQ and its WFQ/DRR module.
+
+The best-effort forwarding path plus ALTQ's fixed-queue WFQ at the
+output interface: its own hash classifier (costed at ALTQ_CLASSIFY) and
+DRR service over the queue array.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from ..sim.cost import Costs, NULL_METER
+from ..sched.altq import AltqWfq
+from .besteffort import BestEffortKernel
+
+
+class AltqKernel(BestEffortKernel):
+    """Best-effort kernel + ALTQ WFQ on the output path."""
+
+    name = "NetBSD with ALTQ and DRR"
+
+    def __init__(self, nqueues: int = 256, quantum: int = 8192):
+        super().__init__()
+        self.wfq = AltqWfq(nqueues=nqueues, quantum=quantum)
+
+    def process(self, packet: Packet, cycles=NULL_METER, now: float = 0.0) -> str:
+        cycles.charge(Costs.DRIVER_RX, "driver_rx")
+        cycles.charge(Costs.IP_INPUT, "ip_input")
+        if packet.ttl <= 1:
+            self.dropped += 1
+            return "dropped_ttl"
+        cycles.charge(Costs.ROUTE_LOOKUP, "route_lookup")
+        route = self.routing_table.lookup(packet.dst)
+        if route is None:
+            self.dropped += 1
+            return "dropped_no_route"
+        packet.ttl -= 1
+        cycles.charge(Costs.IP_FORWARD, "ip_forward")
+        if not self.wfq.enqueue(packet, cycles):
+            self.dropped += 1
+            return "dropped_queue"
+        # The Table 3 workload never overloads the link: dequeue follows
+        # immediately, exactly as in the paper's loopback measurement.
+        out = self.wfq.dequeue(now, cycles)
+        if out is not None:
+            cycles.charge(Costs.DRIVER_TX, "driver_tx")
+            self.interfaces[route.interface].output(out, now)
+            self.forwarded += 1
+        return "forwarded"
+
+
+def build_altq_kernel() -> AltqKernel:
+    kernel = AltqKernel()
+    kernel.add_interface("atm0", prefix="10.0.0.0/8")
+    kernel.add_interface("atm1", prefix="20.0.0.0/8")
+    return kernel

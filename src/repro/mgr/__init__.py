@@ -1,0 +1,19 @@
+"""User space: the Router Plugin Library and the pmgr Plugin Manager."""
+
+from .library import (
+    PLUGIN_REGISTRY,
+    RouterPluginLibrary,
+    parse_config_value,
+    split_command,
+)
+from .pmgr import PluginManager, main, run_script
+
+__all__ = [
+    "PLUGIN_REGISTRY",
+    "RouterPluginLibrary",
+    "parse_config_value",
+    "split_command",
+    "PluginManager",
+    "main",
+    "run_script",
+]

@@ -1,0 +1,173 @@
+"""The Router Plugin Library (§3.1): "a simple application which takes
+arguments from the command line and translates them into calls to the
+user-space Router Plugin Library ... This library implements the
+function calls needed to configure all kernel level components."
+
+`PLUGIN_REGISTRY` is the modload search path: plugin names → plugin
+classes.  :class:`RouterPluginLibrary` wraps one router and exposes the
+calls the Plugin Manager and the daemons use.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Dict, List, Optional, Type
+
+from ..core.errors import ConfigurationError, UnknownPluginError
+from ..core.plugin import Plugin, PluginInstance
+from ..core.router import Router
+from ..core.routing_plugin import L4RoutingPlugin
+from ..options import HopByHopPlugin, JumboPlugin, RouterAlertPlugin
+from ..sched import (
+    CbqPlugin,
+    DrrPlugin,
+    FifoPlugin,
+    HfscPlugin,
+    HsfPlugin,
+    RedPlugin,
+    ScfqPlugin,
+)
+from ..security import AhPlugin, EspPlugin, FirewallPlugin, HwEspPlugin
+from ..stats import StatisticsPlugin, TcpMonitorPlugin
+
+PLUGIN_REGISTRY: Dict[str, Type[Plugin]] = {
+    "cbq": CbqPlugin,
+    "drr": DrrPlugin,
+    "fifo": FifoPlugin,
+    "hfsc": HfscPlugin,
+    "hsf": HsfPlugin,
+    "red": RedPlugin,
+    "scfq": ScfqPlugin,
+    "ah": AhPlugin,
+    "esp": EspPlugin,
+    "hwesp": HwEspPlugin,
+    "firewall": FirewallPlugin,
+    "hopbyhop": HopByHopPlugin,
+    "routeralert": RouterAlertPlugin,
+    "jumbo": JumboPlugin,
+    "stats": StatisticsPlugin,
+    "tcpmon": TcpMonitorPlugin,
+    "l4route": L4RoutingPlugin,
+}
+
+
+def _coerce(value: str):
+    """Best-effort typing for key=value config arguments."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+class RouterPluginLibrary:
+    """User-space configuration calls against one router."""
+
+    def __init__(self, router: Router):
+        self.router = router
+        self._instances: Dict[str, PluginInstance] = {}
+
+    # ------------------------------------------------------------------
+    # modload / modunload
+    # ------------------------------------------------------------------
+    def modload(self, name: str) -> Plugin:
+        """Load a plugin by registry name (NetBSD's modload analogue)."""
+        if self.router.pcu.is_loaded(name):
+            return self.router.pcu.get(name)
+        plugin_class = PLUGIN_REGISTRY.get(name)
+        if plugin_class is None:
+            raise UnknownPluginError(
+                f"no plugin {name!r} in the registry; known: {sorted(PLUGIN_REGISTRY)}"
+            )
+        plugin = plugin_class()
+        self.router.pcu.load(plugin)
+        return plugin
+
+    def modunload(self, name: str) -> None:
+        self.router.pcu.unload(name)
+        self._instances = {
+            key: inst for key, inst in self._instances.items()
+            if inst.plugin.name != name
+        }
+
+    # ------------------------------------------------------------------
+    # Instance lifecycle
+    # ------------------------------------------------------------------
+    def create_instance(self, plugin_name: str, instance_name: str, **config) -> PluginInstance:
+        plugin = self.router.pcu.get(plugin_name)
+        if instance_name in self._instances:
+            raise ConfigurationError(f"duplicate instance name {instance_name!r}")
+        instance = plugin.create_instance(name=instance_name, **config)
+        self._instances[instance_name] = instance
+        return instance
+
+    def free_instance(self, instance_name: str) -> None:
+        instance = self.instance(instance_name)
+        instance.plugin.free_instance(instance)
+        del self._instances[instance_name]
+
+    def instance(self, name: str) -> PluginInstance:
+        try:
+            return self._instances[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"no instance named {name!r}") from exc
+
+    def instances(self) -> List[str]:
+        return sorted(self._instances)
+
+    # ------------------------------------------------------------------
+    # Filters and bindings
+    # ------------------------------------------------------------------
+    def bind(self, instance_name: str, filter_spec: str, gate: Optional[str] = None, priority: int = 0):
+        """Create a filter and bind it to an instance (register_instance)."""
+        instance = self.instance(instance_name)
+        return instance.plugin.register_instance(
+            instance, filter_spec, gate=gate, priority=priority
+        )
+
+    def unbind(self, instance_name: str) -> bool:
+        instance = self.instance(instance_name)
+        return instance.plugin.deregister_instance(instance)
+
+    # ------------------------------------------------------------------
+    # Router-level configuration
+    # ------------------------------------------------------------------
+    def set_scheduler(self, interface: str, instance_name: str) -> None:
+        self.router.set_scheduler(interface, self.instance(instance_name))
+
+    def add_route(self, prefix: str, interface: str, next_hop: Optional[str] = None) -> None:
+        self.router.routing_table.add(prefix, interface, next_hop=next_hop)
+
+    # ------------------------------------------------------------------
+    # Introspection ("show" commands)
+    # ------------------------------------------------------------------
+    def show_plugins(self) -> List[str]:
+        return sorted(p.name for p in self.router.pcu.plugins())
+
+    def show_filters(self) -> List[str]:
+        return [
+            f"{record.gate}: {record.filter} -> "
+            f"{record.instance.name if record.instance else 'unbound'}"
+            for record in self.router.aiu.filters()
+        ]
+
+    def show_flows(self) -> dict:
+        return self.router.aiu.stats()
+
+
+def parse_config_value(token: str):
+    key, _, value = token.partition("=")
+    if not _:
+        raise ConfigurationError(f"expected key=value, got {token!r}")
+    return key, _coerce(value)
+
+
+def split_command(line: str) -> List[str]:
+    """Tokenize a pmgr command line (shell-style quoting)."""
+    return shlex.split(line, comments=True)

@@ -1,0 +1,210 @@
+"""``pmgr`` — the Plugin Manager (§3.1, §6.1).
+
+"The Plugin Manager is a user space utility used to configure the
+system ... In most cases, the plugin manager is invoked from a
+configuration script during system initialization, but it can also be
+used to manually issue commands to various plugins."
+
+Command language (one command per line; ``#`` comments allowed)::
+
+    modload <plugin>                          # load a plugin module
+    modunload <plugin>
+    create <plugin> <instance> [key=value...] # create_instance message
+    free <instance>
+    bind <instance> <gate|-> <filter...>      # register_instance + filter
+    unbind <instance>
+    scheduler <interface> <instance>          # per-interface scheduler
+    route <prefix> <interface> [next_hop]
+    mroute <group> <oif1,oif2,...> [source|*] [expected_iif]
+    msg <plugin> <type> [key=value...]        # plugin-specific message
+    show plugins|filters|flows
+
+The §6.1 example script from the paper runs verbatim through
+:func:`run_script` (see ``tests/mgr/test_pmgr_paper_script.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.messages import Message
+from ..core.router import Router
+from .library import RouterPluginLibrary, parse_config_value, split_command
+
+
+class PluginManager:
+    """The command interpreter over the Router Plugin Library."""
+
+    def __init__(self, router: Router, output: Optional[Callable[[str], None]] = None):
+        self.library = RouterPluginLibrary(router)
+        self.router = router
+        self._print = output or (lambda line: None)
+        self._commands: Dict[str, Callable[[List[str]], None]] = {
+            "modload": self._cmd_modload,
+            "modunload": self._cmd_modunload,
+            "create": self._cmd_create,
+            "free": self._cmd_free,
+            "bind": self._cmd_bind,
+            "unbind": self._cmd_unbind,
+            "scheduler": self._cmd_scheduler,
+            "route": self._cmd_route,
+            "mroute": self._cmd_mroute,
+            "msg": self._cmd_msg,
+            "show": self._cmd_show,
+        }
+
+    # ------------------------------------------------------------------
+    def run_command(self, line: str) -> None:
+        tokens = split_command(line)
+        if not tokens:
+            return
+        # Tolerate a leading "pmgr" so the paper's script lines run as-is.
+        if tokens[0] == "pmgr":
+            tokens = tokens[1:]
+            if not tokens:
+                return
+        command = tokens[0]
+        handler = self._commands.get(command)
+        if handler is None:
+            raise ConfigurationError(
+                f"unknown pmgr command {command!r}; known: {sorted(self._commands)}"
+            )
+        handler(tokens[1:])
+
+    def run_script(self, text: str) -> int:
+        """Execute a configuration script; returns commands executed."""
+        executed = 0
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            self.run_command(line)
+            executed += 1
+        return executed
+
+    # ------------------------------------------------------------------
+    # Command handlers
+    # ------------------------------------------------------------------
+    def _cmd_modload(self, args: List[str]) -> None:
+        self._need(args, 1, "modload <plugin>")
+        plugin = self.library.modload(args[0])
+        self._print(f"loaded {plugin.name} code=0x{plugin.code:08x}")
+
+    def _cmd_modunload(self, args: List[str]) -> None:
+        self._need(args, 1, "modunload <plugin>")
+        self.library.modunload(args[0])
+        self._print(f"unloaded {args[0]}")
+
+    def _cmd_create(self, args: List[str]) -> None:
+        if len(args) < 2:
+            raise ConfigurationError("usage: create <plugin> <instance> [key=value...]")
+        config = dict(parse_config_value(token) for token in args[2:])
+        instance = self.library.create_instance(args[0], args[1], **config)
+        self._print(f"created {instance.name}")
+
+    def _cmd_free(self, args: List[str]) -> None:
+        self._need(args, 1, "free <instance>")
+        self.library.free_instance(args[0])
+        self._print(f"freed {args[0]}")
+
+    def _cmd_bind(self, args: List[str]) -> None:
+        if len(args) < 3:
+            raise ConfigurationError("usage: bind <instance> <gate|-> <filter...>")
+        instance_name, gate = args[0], args[1]
+        filter_spec = " ".join(args[2:])
+        record = self.library.bind(
+            instance_name, filter_spec, gate=None if gate == "-" else gate
+        )
+        self._print(f"bound {instance_name} at {record.gate}: {record.filter}")
+
+    def _cmd_unbind(self, args: List[str]) -> None:
+        self._need(args, 1, "unbind <instance>")
+        self.library.unbind(args[0])
+        self._print(f"unbound {args[0]}")
+
+    def _cmd_scheduler(self, args: List[str]) -> None:
+        self._need(args, 2, "scheduler <interface> <instance>")
+        self.library.set_scheduler(args[0], args[1])
+        self._print(f"scheduler on {args[0]} = {args[1]}")
+
+    def _cmd_route(self, args: List[str]) -> None:
+        if len(args) not in (2, 3):
+            raise ConfigurationError("usage: route <prefix> <interface> [next_hop]")
+        self.library.add_route(args[0], args[1], args[2] if len(args) == 3 else None)
+        self._print(f"route {args[0]} dev {args[1]}")
+
+    def _cmd_mroute(self, args: List[str]) -> None:
+        if len(args) not in (2, 3, 4):
+            raise ConfigurationError(
+                "usage: mroute <group> <oif1,oif2,...> [source|*] [expected_iif]"
+            )
+        group, oifs = args[0], args[1].split(",")
+        source = None if len(args) < 3 or args[2] == "*" else args[2]
+        expected_iif = args[3] if len(args) == 4 else None
+        self.router.multicast_table.add(
+            group, oifs, source=source, expected_iif=expected_iif
+        )
+        self._print(f"mroute ({source or '*'}, {group}) -> {oifs}")
+
+    def _cmd_msg(self, args: List[str]) -> None:
+        if len(args) < 2:
+            raise ConfigurationError("usage: msg <plugin> <type> [key=value...]")
+        plugin_name, msg_type = args[0], args[1]
+        msg_args = {}
+        for token in args[2:]:
+            key, value = parse_config_value(token)
+            # Instance references resolve by name.
+            if key in ("instance",) or key.endswith("_instance"):
+                value = self.library.instance(str(value))
+            msg_args[key] = value
+        result = self.router.pcu.send(plugin_name, Message(msg_type, msg_args))
+        self._print(f"msg {msg_type} -> {result!r}")
+
+    def _cmd_show(self, args: List[str]) -> None:
+        self._need(args, 1, "show plugins|filters|flows")
+        what = args[0]
+        if what == "plugins":
+            for name in self.library.show_plugins():
+                self._print(name)
+        elif what == "filters":
+            for line in self.library.show_filters():
+                self._print(line)
+        elif what == "flows":
+            self._print(str(self.library.show_flows()))
+        else:
+            raise ConfigurationError(f"unknown show target {what!r}")
+
+    @staticmethod
+    def _need(args: List[str], count: int, usage: str) -> None:
+        if len(args) != count:
+            raise ConfigurationError(f"usage: {usage}")
+
+
+def run_script(text: str, router: Router, output=None) -> PluginManager:
+    """Convenience: run a config script against a router; returns the
+    manager for further commands."""
+    manager = PluginManager(router, output=output)
+    manager.run_script(text)
+    return manager
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: ``pmgr <script-file>`` builds a demo router and
+    runs the script against it (stateless across invocations — see
+    README; real deployments embed :class:`PluginManager`)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    router = Router(name="pmgr-router")
+    router.add_interface("atm0", prefix="0.0.0.0/0")
+    manager = PluginManager(router, output=print)
+    with open(argv[0], "r", encoding="utf-8") as handle:
+        manager.run_script(handle.read())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

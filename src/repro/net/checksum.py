@@ -1,0 +1,43 @@
+"""The Internet checksum (RFC 1071) used by IPv4/UDP/TCP headers."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    Odd-length input is padded with a zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (including its checksum field) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def pseudo_header_v4(src: int, dst: int, protocol: int, length: int) -> bytes:
+    """The IPv4 pseudo-header used by TCP/UDP checksums."""
+    return (
+        src.to_bytes(4, "big")
+        + dst.to_bytes(4, "big")
+        + bytes([0, protocol])
+        + length.to_bytes(2, "big")
+    )
+
+
+def pseudo_header_v6(src: int, dst: int, protocol: int, length: int) -> bytes:
+    """The IPv6 pseudo-header (RFC 2460 §8.1) used by upper-layer checksums."""
+    return (
+        src.to_bytes(16, "big")
+        + dst.to_bytes(16, "big")
+        + length.to_bytes(4, "big")
+        + bytes([0, 0, 0, protocol])
+    )

@@ -1,0 +1,137 @@
+"""ICMP / ICMPv6 error generation — the control messages a real router
+emits for TTL expiry, unroutable destinations, oversized packets, and
+bad options (the option plugin's "drop + ICMP" action bits).
+
+Errors quote the leading bytes of the offending datagram (RFC 792 /
+RFC 4443) and are rate-limited by a token bucket, as every production
+stack does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .addresses import IPAddress
+from .packet import Packet
+
+# ICMPv4 types/codes (RFC 792).
+ICMP_DEST_UNREACHABLE = 3
+ICMP_TIME_EXCEEDED = 11
+ICMP_PARAM_PROBLEM = 12
+UNREACH_NET = 0
+UNREACH_HOST = 1
+UNREACH_FRAG_NEEDED = 4
+
+# ICMPv6 types (RFC 4443).
+ICMP6_DEST_UNREACHABLE = 1
+ICMP6_PACKET_TOO_BIG = 2
+ICMP6_TIME_EXCEEDED = 3
+ICMP6_PARAM_PROBLEM = 4
+
+PROTO_ICMP = 1
+PROTO_ICMPV6 = 58
+
+#: How much of the offending datagram an error quotes.
+QUOTE_BYTES = 28 + 8          # original header + 8 payload bytes (v4 rule)
+
+
+@dataclass(frozen=True)
+class IcmpInfo:
+    """Parsed ICMP semantics carried in ``packet.annotations['icmp']``."""
+
+    icmp_type: int
+    code: int = 0
+    mtu: Optional[int] = None    # for packet-too-big / frag-needed
+
+    @property
+    def is_time_exceeded(self) -> bool:
+        return self.icmp_type in (ICMP_TIME_EXCEEDED, ICMP6_TIME_EXCEEDED)
+
+    @property
+    def is_unreachable(self) -> bool:
+        return self.icmp_type in (ICMP_DEST_UNREACHABLE, ICMP6_DEST_UNREACHABLE)
+
+    @property
+    def is_too_big(self) -> bool:
+        return self.icmp_type == ICMP6_PACKET_TOO_BIG or (
+            self.icmp_type == ICMP_DEST_UNREACHABLE and self.code == UNREACH_FRAG_NEEDED
+        )
+
+
+def icmp_error(
+    original: Packet,
+    source: Optional[IPAddress],
+    icmp_type: int,
+    code: int = 0,
+    mtu: Optional[int] = None,
+) -> Optional[Packet]:
+    """Build the ICMP error a router sends about ``original``.
+
+    Returns None when no error may be generated: no usable source
+    address, the offending packet is itself an ICMP error (never answer
+    errors with errors, RFC 1122), or the source family mismatches.
+    """
+    if source is None:
+        return None
+    if original.protocol in (PROTO_ICMP, PROTO_ICMPV6):
+        existing = original.annotations.get("icmp")
+        if existing is None or existing.icmp_type not in (128, 129, 8, 0):
+            return None  # don't answer errors (echo req/reply are fine)
+    if source.width != original.src.width:
+        return None
+    try:
+        quote = original.serialize()[:QUOTE_BYTES]
+    except Exception:
+        quote = b""
+    error = Packet(
+        src=source,
+        dst=original.src,
+        protocol=PROTO_ICMPV6 if original.is_ipv6 else PROTO_ICMP,
+        payload=quote,
+        ttl=64,
+    )
+    error.annotations["icmp"] = IcmpInfo(icmp_type=icmp_type, code=code, mtu=mtu)
+    return error
+
+
+def time_exceeded(original: Packet, source: IPAddress) -> Optional[Packet]:
+    icmp_type = ICMP6_TIME_EXCEEDED if original.is_ipv6 else ICMP_TIME_EXCEEDED
+    return icmp_error(original, source, icmp_type)
+
+
+def destination_unreachable(
+    original: Packet, source: IPAddress, code: int = UNREACH_NET
+) -> Optional[Packet]:
+    if original.is_ipv6:
+        return icmp_error(original, source, ICMP6_DEST_UNREACHABLE, code=0)
+    return icmp_error(original, source, ICMP_DEST_UNREACHABLE, code=code)
+
+
+def packet_too_big(original: Packet, source: IPAddress, mtu: int) -> Optional[Packet]:
+    if original.is_ipv6:
+        return icmp_error(original, source, ICMP6_PACKET_TOO_BIG, mtu=mtu)
+    return icmp_error(
+        original, source, ICMP_DEST_UNREACHABLE, code=UNREACH_FRAG_NEEDED, mtu=mtu
+    )
+
+
+class IcmpRateLimiter:
+    """A token bucket bounding error generation (default 10/s, burst 10)."""
+
+    def __init__(self, rate_per_s: float = 10.0, burst: int = 10):
+        self.rate = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+        self.suppressed = 0
+
+    def allow(self, now: float) -> bool:
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        self.suppressed += 1
+        return False

@@ -1,0 +1,304 @@
+"""The packet object — our analogue of the BSD ``mbuf``.
+
+A :class:`Packet` carries the parsed header fields the data path needs
+(addresses, protocol, ports, input interface) plus the mbuf-style metadata
+the paper relies on: the **flow index** (``fix``) written by the AIU at the
+first gate and consumed by later gates, arrival timestamps, and scratch
+space for plugins.
+
+Packets can also round-trip to real wire bytes (``serialize``/``parse``)
+so plugins that authenticate or transform byte ranges (IPsec) and option
+walkers see genuine encodings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .addresses import IPAddress, IPV4_WIDTH, IPV6_WIDTH
+from .headers import (
+    HeaderError,
+    IPv4Header,
+    IPv6Header,
+    OptionsHeader,
+    OptionTLV,
+    PROTO_HOPOPTS,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPHeader,
+    UDPHeader,
+)
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A routed datagram plus its mbuf metadata.
+
+    Transport ports are 0 for protocols without ports; the classifier
+    treats them as exact values, matching the paper's six-tuple model.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: int
+    src_port: int = 0
+    dst_port: int = 0
+    iif: Optional[str] = None
+    payload: bytes = b""
+    ttl: int = 64
+    tos: int = 0
+    flow_label: int = 0
+    hop_options: List[OptionTLV] = field(default_factory=list)
+
+    # mbuf metadata — not part of the wire format.
+    fix: Optional[Any] = None          # flow index: AIU flow-table row handle
+    arrival_time: float = 0.0
+    departure_time: Optional[float] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.src.width != self.dst.width:
+            raise ValueError("src/dst address family mismatch")
+
+    # ------------------------------------------------------------------
+    # Classification views
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return 6 if self.src.width == IPV6_WIDTH else 4
+
+    @property
+    def is_ipv6(self) -> bool:
+        return self.src.width == IPV6_WIDTH
+
+    def five_tuple(self) -> Tuple[int, int, int, int, int]:
+        """⟨src, dst, proto, sport, dport⟩ as plain ints (flow-table key)."""
+        return (
+            self.src.value,
+            self.dst.value,
+            self.protocol,
+            self.src_port,
+            self.dst_port,
+        )
+
+    def six_tuple(self) -> Tuple[int, int, int, int, int, Optional[str]]:
+        """The paper's filter six-tuple, with the incoming interface."""
+        return self.five_tuple() + (self.iif,)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def header_length(self) -> int:
+        if "frag" in self.annotations:
+            # A fragment's payload is the raw byte slice (the transport
+            # header, if any, is inside the first slice already).
+            return IPv4Header.HEADER_LEN
+        base = IPv6Header.HEADER_LEN if self.is_ipv6 else IPv4Header.HEADER_LEN
+        if self.hop_options:
+            base += len(OptionsHeader(0, list(self.hop_options)).serialize())
+        if self.protocol == PROTO_TCP:
+            base += TCPHeader.HEADER_LEN
+        elif self.protocol == PROTO_UDP:
+            base += UDPHeader.HEADER_LEN
+        return base
+
+    @property
+    def length(self) -> int:
+        """Total datagram length in bytes."""
+        return self.header_length + len(self.payload)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def serialize(self) -> bytes:
+        """Encode the packet as a real IPv4/IPv6 datagram."""
+        transport = b""
+        if self.protocol == PROTO_UDP:
+            transport = UDPHeader(
+                self.src_port, self.dst_port, UDPHeader.HEADER_LEN + len(self.payload)
+            ).serialize()
+        elif self.protocol == PROTO_TCP:
+            transport = TCPHeader(self.src_port, self.dst_port).serialize()
+        body = transport + self.payload
+
+        if self.is_ipv6:
+            next_header = self.protocol
+            ext = b""
+            if self.hop_options:
+                ext = OptionsHeader(self.protocol, list(self.hop_options)).serialize()
+                next_header = PROTO_HOPOPTS
+            header = IPv6Header(
+                src=self.src,
+                dst=self.dst,
+                next_header=next_header,
+                payload_length=len(ext) + len(body),
+                hop_limit=self.ttl,
+                traffic_class=self.tos,
+                flow_label=self.flow_label,
+            )
+            return header.serialize() + ext + body
+        if self.hop_options:
+            raise HeaderError("hop-by-hop options only exist in IPv6")
+        header = IPv4Header(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            total_length=IPv4Header.HEADER_LEN + len(body),
+            ttl=self.ttl,
+            tos=self.tos,
+        )
+        return header.serialize() + body
+
+    @classmethod
+    def parse(cls, data: bytes, iif: Optional[str] = None) -> "Packet":
+        """Decode a wire datagram into a Packet."""
+        if not data:
+            raise HeaderError("empty datagram")
+        version = data[0] >> 4
+        if version == 4:
+            header = IPv4Header.parse(data)
+            offset = IPv4Header.HEADER_LEN
+            protocol = header.protocol
+            src, dst = header.src, header.dst
+            ttl, tos, flow_label = header.ttl, header.tos, 0
+            hop_options: List[OptionTLV] = []
+            body = data[offset : header.total_length]
+        elif version == 6:
+            header6 = IPv6Header.parse(data)
+            offset = IPv6Header.HEADER_LEN
+            end = offset + header6.payload_length
+            protocol = header6.next_header
+            hop_options = []
+            if protocol == PROTO_HOPOPTS:
+                opts, consumed = OptionsHeader.parse(data[offset:end])
+                hop_options = opts.options
+                protocol = opts.next_header
+                offset += consumed
+            src, dst = header6.src, header6.dst
+            ttl, tos = header6.hop_limit, header6.traffic_class
+            flow_label = header6.flow_label
+            body = data[offset:end]
+        else:
+            raise HeaderError(f"unknown IP version {version}")
+
+        src_port = dst_port = 0
+        payload = bytes(body)
+        if protocol == PROTO_UDP and len(body) >= UDPHeader.HEADER_LEN:
+            udp = UDPHeader.parse(body)
+            src_port, dst_port = udp.src_port, udp.dst_port
+            payload = bytes(body[UDPHeader.HEADER_LEN :])
+        elif protocol == PROTO_TCP and len(body) >= TCPHeader.HEADER_LEN:
+            tcp = TCPHeader.parse(body)
+            src_port, dst_port = tcp.src_port, tcp.dst_port
+            payload = bytes(body[TCPHeader.HEADER_LEN :])
+            tcp_meta = {"tcp_seq": tcp.seq, "tcp_flags": tcp.flags}
+            packet = cls(
+                src=src,
+                dst=dst,
+                protocol=protocol,
+                src_port=src_port,
+                dst_port=dst_port,
+                iif=iif,
+                payload=payload,
+                ttl=ttl,
+                tos=tos,
+                flow_label=flow_label,
+                hop_options=hop_options,
+            )
+            packet.annotations.update(tcp_meta)
+            return packet
+
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+            iif=iif,
+            payload=payload,
+            ttl=ttl,
+            tos=tos,
+            flow_label=flow_label,
+            hop_options=hop_options,
+        )
+
+    def copy(self) -> "Packet":
+        """A shallow copy with fresh mbuf metadata (new packet id, no FIX)."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            iif=self.iif,
+            payload=self.payload,
+            ttl=self.ttl,
+            tos=self.tos,
+            flow_label=self.flow_label,
+            hop_options=list(self.hop_options),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.packet_id} {self.src}:{self.src_port} -> "
+            f"{self.dst}:{self.dst_port} proto={self.protocol} "
+            f"len={self.length} iif={self.iif})"
+        )
+
+
+def make_udp(
+    src: str,
+    dst: str,
+    src_port: int,
+    dst_port: int,
+    payload_size: int = 0,
+    iif: Optional[str] = None,
+    **kwargs,
+) -> Packet:
+    """Convenience constructor for a UDP packet from string addresses."""
+    return Packet(
+        src=IPAddress.parse(src),
+        dst=IPAddress.parse(dst),
+        protocol=PROTO_UDP,
+        src_port=src_port,
+        dst_port=dst_port,
+        payload=b"\x00" * payload_size,
+        iif=iif,
+        **kwargs,
+    )
+
+
+def make_tcp(
+    src: str,
+    dst: str,
+    src_port: int,
+    dst_port: int,
+    payload_size: int = 0,
+    iif: Optional[str] = None,
+    seq: Optional[int] = None,
+    **kwargs,
+) -> Packet:
+    """Convenience constructor for a TCP packet from string addresses.
+
+    ``seq`` (if given) rides in ``annotations['tcp_seq']`` — the field
+    the TCP-monitor plugin reads.
+    """
+    packet = Packet(
+        src=IPAddress.parse(src),
+        dst=IPAddress.parse(dst),
+        protocol=PROTO_TCP,
+        src_port=src_port,
+        dst_port=dst_port,
+        payload=b"\x00" * payload_size,
+        iif=iif,
+        **kwargs,
+    )
+    if seq is not None:
+        packet.annotations["tcp_seq"] = seq
+    return packet

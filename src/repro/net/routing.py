@@ -1,0 +1,131 @@
+"""The routing table: destination prefix → (next hop, output interface).
+
+The longest-prefix-match engine is *pluggable* — this is one of the
+paper's plugin types ("best-matching prefix" plugins).  Any object with
+``insert(prefix, value)``, ``remove(prefix)`` and ``lookup(value_int)``
+works; :mod:`repro.bmp` supplies PATRICIA, binary-search-on-prefix-lengths
+and controlled-prefix-expansion engines.  A naive linear engine lives here
+both as the default fallback and as the baseline for benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .addresses import IPAddress, Prefix
+
+
+@dataclass
+class Route:
+    """One routing entry."""
+
+    prefix: Prefix
+    next_hop: Optional[IPAddress]
+    interface: str
+    metric: int = 1
+
+    @property
+    def is_directly_connected(self) -> bool:
+        return self.next_hop is None
+
+    def __repr__(self) -> str:
+        via = str(self.next_hop) if self.next_hop else "direct"
+        return f"Route({self.prefix} via {via} dev {self.interface} metric {self.metric})"
+
+
+class LinearLPM:
+    """O(n) longest-prefix match over a sorted list — the naive baseline."""
+
+    def __init__(self, width: Optional[int] = None) -> None:
+        self.width = width
+        self._entries: List[Tuple[Prefix, object]] = []
+
+    def insert(self, prefix: Prefix, value: object) -> None:
+        self.remove(prefix)
+        self._entries.append((prefix, value))
+        # Longest prefixes first so the first hit is the best match.
+        self._entries.sort(key=lambda e: -e[0].length)
+
+    def remove(self, prefix: Prefix) -> bool:
+        before = len(self._entries)
+        self._entries = [(p, v) for p, v in self._entries if p != prefix]
+        return len(self._entries) != before
+
+    def lookup(self, value: int) -> Optional[object]:
+        for prefix, stored in self._entries:
+            if prefix.matches(value):
+                return stored
+        return None
+
+    def lookup_prefix(self, value: int) -> Optional[Prefix]:
+        for prefix, _stored in self._entries:
+            if prefix.matches(value):
+                return prefix
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, object]]:
+        return iter(self._entries)
+
+
+class RoutingTable:
+    """A per-family routing table over a pluggable LPM engine."""
+
+    def __init__(self, lpm_factory=LinearLPM):
+        self._lpm_factory = lpm_factory
+        self._engines: Dict[int, object] = {}
+        self._routes: Dict[Prefix, Route] = {}
+
+    def _engine(self, width: int):
+        if width not in self._engines:
+            self._engines[width] = self._lpm_factory(width)
+        return self._engines[width]
+
+    def add(
+        self,
+        prefix,
+        interface: str,
+        next_hop=None,
+        metric: int = 1,
+    ) -> Route:
+        """Install a route.  ``prefix``/``next_hop`` accept strings."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        if isinstance(next_hop, str):
+            next_hop = IPAddress.parse(next_hop)
+        route = Route(prefix, next_hop, interface, metric)
+        self._routes[prefix] = route
+        self._engine(prefix.width).insert(prefix, route)
+        return route
+
+    def remove(self, prefix) -> bool:
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        if prefix not in self._routes:
+            return False
+        del self._routes[prefix]
+        self._engine(prefix.width).remove(prefix)
+        return True
+
+    def lookup(self, dst) -> Optional[Route]:
+        """Longest-prefix match for a destination address."""
+        if isinstance(dst, str):
+            dst = IPAddress.parse(dst)
+        engine = self._engines.get(dst.width)
+        if engine is None:
+            return None
+        return engine.lookup(dst.value)
+
+    def routes(self) -> List[Route]:
+        return list(self._routes.values())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix) -> bool:
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        return prefix in self._routes

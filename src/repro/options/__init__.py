@@ -1,0 +1,27 @@
+"""IPv6 option-processing plugins."""
+
+from .plugins import (
+    ACTION_DROP,
+    ACTION_DROP_ICMP,
+    ACTION_DROP_ICMP_NOT_MCAST,
+    ACTION_SKIP,
+    HopByHopInstance,
+    HopByHopPlugin,
+    JumboInstance,
+    JumboPlugin,
+    RouterAlertInstance,
+    RouterAlertPlugin,
+)
+
+__all__ = [
+    "ACTION_DROP",
+    "ACTION_DROP_ICMP",
+    "ACTION_DROP_ICMP_NOT_MCAST",
+    "ACTION_SKIP",
+    "HopByHopInstance",
+    "HopByHopPlugin",
+    "JumboInstance",
+    "JumboPlugin",
+    "RouterAlertInstance",
+    "RouterAlertPlugin",
+]

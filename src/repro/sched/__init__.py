@@ -1,0 +1,48 @@
+"""Packet scheduler plugins: FIFO, weighted DRR, H-FSC, HSF, RED, and
+the ALTQ-WFQ baseline from the paper's Table 3."""
+
+from .altq import AltqWfq, DEFAULT_NQUEUES
+from .base import (
+    DEFAULT_QUEUE_LIMIT,
+    PacketQueue,
+    SchedulerInstance,
+    SchedulerPlugin,
+)
+from .cbq import CbqClass, CbqInstance, CbqPlugin
+from .curves import RuntimeCurve, ServiceCurve
+from .drr import DrrFlowQueue, DrrInstance, DrrPlugin
+from .fifo import FifoInstance, FifoPlugin
+from .hfsc import HfscClass, HfscInstance, HfscPlugin
+from .hsf import DrrLeafQueue, HsfInstance, HsfPlugin
+from .red import RedInstance, RedPlugin
+from .scfq import ScfqFlowState, ScfqInstance, ScfqPlugin
+
+__all__ = [
+    "AltqWfq",
+    "DEFAULT_NQUEUES",
+    "DEFAULT_QUEUE_LIMIT",
+    "PacketQueue",
+    "SchedulerInstance",
+    "SchedulerPlugin",
+    "CbqClass",
+    "CbqInstance",
+    "CbqPlugin",
+    "RuntimeCurve",
+    "ServiceCurve",
+    "DrrFlowQueue",
+    "DrrInstance",
+    "DrrPlugin",
+    "FifoInstance",
+    "FifoPlugin",
+    "HfscClass",
+    "HfscInstance",
+    "HfscPlugin",
+    "DrrLeafQueue",
+    "HsfInstance",
+    "HsfPlugin",
+    "RedInstance",
+    "RedPlugin",
+    "ScfqFlowState",
+    "ScfqInstance",
+    "ScfqPlugin",
+]

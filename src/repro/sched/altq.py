@@ -1,0 +1,110 @@
+"""The ALTQ-style WFQ baseline used in Table 3 row 3.
+
+§6.1: "The ALTQ WFQ modules implement fair queueing for a limited number
+of flows, which it distributes over a fixed number of queues.  ALTQ came
+with a basic packet classifier which mapped flows to these queues by
+hashing on fields in the packet header."
+
+This is the comparison system: a *fixed* array of queues (so unrelated
+flows can collide on a queue — the unfairness the plugin DRR avoids),
+its own header-hash classifier (costed at ``Costs.ALTQ_CLASSIFY``), and
+deficit-round-robin service over the queue array.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..net.packet import Packet
+from ..sim.cost import Costs, NULL_METER
+from .base import DEFAULT_QUEUE_LIMIT, PacketQueue
+
+DEFAULT_NQUEUES = 256
+
+
+class AltqWfq:
+    """Fixed-queue WFQ/DRR with a built-in hash classifier."""
+
+    def __init__(
+        self,
+        nqueues: int = DEFAULT_NQUEUES,
+        quantum: int = 1500,
+        limit: int = DEFAULT_QUEUE_LIMIT,
+    ):
+        if nqueues & (nqueues - 1):
+            raise ValueError("queue count must be a power of two")
+        self.nqueues = nqueues
+        self.quantum = quantum
+        self._queues = [PacketQueue(limit) for _ in range(nqueues)]
+        self._deficits = [0.0] * nqueues
+        self._needs_quantum = [True] * nqueues
+        self._active: Deque[int] = deque()
+        self._is_active = [False] * nqueues
+        self.collisions = 0
+        self._occupied_flows = [set() for _ in range(nqueues)]
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.drops = 0
+
+    # ------------------------------------------------------------------
+    def classify(self, packet: Packet, cycles=NULL_METER) -> int:
+        """ALTQ's header hash onto the fixed queue array."""
+        cycles.charge(Costs.ALTQ_CLASSIFY, "altq_classify")
+        key = packet.five_tuple()
+        folded = key[0] ^ key[1]
+        while folded >> 16:
+            folded = (folded & 0xFFFF) ^ (folded >> 16)
+        folded ^= (key[2] << 8) ^ key[3] ^ (key[4] << 4)
+        index = folded & (self.nqueues - 1)
+        flows = self._occupied_flows[index]
+        if key not in flows:
+            if flows:
+                self.collisions += 1
+            flows.add(key)
+        return index
+
+    def enqueue(self, packet: Packet, cycles=NULL_METER) -> bool:
+        index = self.classify(packet, cycles)
+        cycles.charge(Costs.DRR_ENQUEUE, "sched_enqueue")
+        if not self._queues[index].push(packet):
+            self.drops += 1
+            return False
+        if not self._is_active[index]:
+            self._is_active[index] = True
+            self._deficits[index] = 0.0
+            self._needs_quantum[index] = True
+            self._active.append(index)
+        return True
+
+    def dequeue(self, now: float = 0.0, cycles=NULL_METER) -> Optional[Packet]:
+        cycles.charge(Costs.DRR_DEQUEUE, "sched_dequeue")
+        while self._active:
+            index = self._active[0]
+            queue = self._queues[index]
+            head = queue.head()
+            if head is None:
+                self._is_active[index] = False
+                self._occupied_flows[index].clear()
+                self._active.popleft()
+                continue
+            if self._needs_quantum[index]:
+                self._deficits[index] += self.quantum
+                self._needs_quantum[index] = False
+            if self._deficits[index] < head.length:
+                self._needs_quantum[index] = True
+                self._active.rotate(-1)
+                continue
+            packet = queue.pop()
+            self._deficits[index] -= packet.length
+            if not queue:
+                self._is_active[index] = False
+                self._occupied_flows[index].clear()
+                self._active.popleft()
+            self.packets_sent += 1
+            self.bytes_sent += packet.length
+            return packet
+        return None
+
+    def backlog(self) -> int:
+        return sum(len(q) for q in self._queues)

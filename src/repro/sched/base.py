@@ -1,0 +1,110 @@
+"""Common scaffolding for packet-scheduler plugins.
+
+A scheduler instance is a plugin instance whose ``process`` enqueues the
+packet (returning ``Verdict.CONSUMED``) and that additionally exposes
+``dequeue(now)`` for the router's transmit path.  Per-flow state (queues,
+weights) lives in the flow table's per-gate soft-state slot, exactly as
+§5.2 describes for the DRR plugin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.plugin import Plugin, PluginContext, PluginInstance, TYPE_PACKET_SCHEDULING, Verdict
+from ..net.packet import Packet
+from ..sim.cost import Costs
+
+DEFAULT_QUEUE_LIMIT = 256
+
+
+class PacketQueue:
+    """A bounded FIFO of packets with byte accounting (tail drop)."""
+
+    __slots__ = ("limit", "packets", "bytes", "drops")
+
+    def __init__(self, limit: int = DEFAULT_QUEUE_LIMIT):
+        self.limit = limit
+        self.packets: Deque[Packet] = deque()
+        self.bytes = 0
+        self.drops = 0
+
+    def push(self, packet: Packet) -> bool:
+        """Append; returns False (and counts a drop) when full."""
+        if len(self.packets) >= self.limit:
+            self.drops += 1
+            return False
+        self.packets.append(packet)
+        self.bytes += packet.length
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        if not self.packets:
+            return None
+        packet = self.packets.popleft()
+        self.bytes -= packet.length
+        return packet
+
+    def head(self) -> Optional[Packet]:
+        return self.packets[0] if self.packets else None
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __bool__(self) -> bool:
+        return bool(self.packets)
+
+
+class SchedulerInstance(PluginInstance):
+    """Base class for scheduler plugin instances.
+
+    Subclasses implement :meth:`enqueue` and :meth:`dequeue`; ``process``
+    adapts them to the gate protocol and charges the cost model.
+    """
+
+    enqueue_cost = Costs.DRR_ENQUEUE
+    dequeue_cost = Costs.DRR_DEQUEUE
+
+    def __init__(self, plugin: Plugin, **config):
+        super().__init__(plugin, **config)
+        self.interface: Optional[str] = config.get("interface")
+        self.packets_queued = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    # -- gate protocol ---------------------------------------------------
+    def process(self, packet: Packet, ctx: PluginContext) -> str:
+        super().process(packet, ctx)
+        ctx.cycles.charge(self.enqueue_cost, "sched_enqueue")
+        if self.enqueue(packet, ctx):
+            self.packets_queued += 1
+            return Verdict.CONSUMED
+        self.packets_dropped += 1
+        return Verdict.DROP
+
+    # -- scheduler contract ------------------------------------------------
+    def enqueue(self, packet: Packet, ctx: PluginContext) -> bool:
+        """Queue the packet; False means tail-dropped."""
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Pick the next packet to transmit, or None when idle."""
+        raise NotImplementedError
+
+    def backlog(self) -> int:
+        """Packets currently queued."""
+        raise NotImplementedError
+
+    # -- shared accounting ---------------------------------------------
+    def _account_sent(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.length
+
+
+class SchedulerPlugin(Plugin):
+    """Base plugin class for packet schedulers."""
+
+    plugin_type = TYPE_PACKET_SCHEDULING
+    instance_class = SchedulerInstance

@@ -1,0 +1,207 @@
+"""Service curves and runtime (piecewise-linear) curves for H-FSC.
+
+A *service curve* is the two-piece linear spec of Stoica, Zhang & Ng's
+H-FSC: slope ``m1`` for the first ``d`` seconds, slope ``m2`` after —
+concave (m1 > m2) curves buy low delay, convex ones defer service.
+Slopes are in **bytes per second** internally; constructors accept bits
+per second because that is how link shares are usually quoted.
+
+A :class:`RuntimeCurve` is the mutable piecewise-linear function H-FSC
+maintains per class: it supports "min with a shifted service curve"
+(the ``rtsc_min`` of the BSD ALTQ implementation, generalized to exact
+piecewise-linear min) and the two queries the scheduler needs —
+``y_at_x`` (service amount by time t) and ``x_at_y`` (time when amount y
+is reached).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class ServiceCurve:
+    """Two-piece linear service curve: m1 for d seconds, then m2."""
+
+    m1: float          # bytes/second
+    d: float           # seconds
+    m2: float          # bytes/second
+
+    def __post_init__(self) -> None:
+        if self.m1 < 0 or self.m2 < 0 or self.d < 0:
+            raise ValueError("service curve parameters must be non-negative")
+
+    @classmethod
+    def linear(cls, rate_bps: float) -> "ServiceCurve":
+        """A one-slope curve: a plain bandwidth share."""
+        return cls(rate_bps / 8.0, 0.0, rate_bps / 8.0)
+
+    @classmethod
+    def two_piece(cls, m1_bps: float, d: float, m2_bps: float) -> "ServiceCurve":
+        return cls(m1_bps / 8.0, d, m2_bps / 8.0)
+
+    @classmethod
+    def delay_bounded(cls, rate_bps: float, burst_bytes: float, delay: float) -> "ServiceCurve":
+        """A concave curve delivering ``burst_bytes`` within ``delay``
+        then settling at ``rate_bps`` — the classic low-delay spec."""
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        return cls(burst_bytes / delay, delay, rate_bps / 8.0)
+
+    @property
+    def is_concave(self) -> bool:
+        return self.m1 > self.m2
+
+    def value(self, t: float) -> float:
+        """Service amount at relative time ``t >= 0``."""
+        if t <= self.d:
+            return self.m1 * t
+        return self.m1 * self.d + self.m2 * (t - self.d)
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One piece: from (x, y) with a slope, until the next segment's x."""
+
+    x: float
+    y: float
+    slope: float
+
+    def value(self, t: float) -> float:
+        return self.y + self.slope * (t - self.x)
+
+
+class RuntimeCurve:
+    """A mutable, non-decreasing piecewise-linear function of time."""
+
+    def __init__(self, segments: Optional[List[_Segment]] = None):
+        self._segments: List[_Segment] = segments or []
+
+    @classmethod
+    def from_service_curve(cls, sc: ServiceCurve, x: float, y: float) -> "RuntimeCurve":
+        """The service curve translated to pass through (x, y)."""
+        segments = [_Segment(x, y, sc.m1)]
+        if sc.d > 0 and sc.m1 != sc.m2:
+            segments.append(_Segment(x + sc.d, y + sc.m1 * sc.d, sc.m2))
+        elif sc.m1 != sc.m2:
+            segments = [_Segment(x, y, sc.m2)]
+        return cls(segments)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._segments
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def y_at_x(self, t: float) -> float:
+        """Service amount at absolute time t (clamped at the left edge)."""
+        if not self._segments:
+            raise ValueError("empty runtime curve")
+        seg = self._segments[0]
+        if t <= seg.x:
+            return seg.y
+        for candidate in self._segments[1:]:
+            if candidate.x > t:
+                break
+            seg = candidate
+        return seg.value(t)
+
+    def x_at_y(self, y: float) -> float:
+        """Earliest time at which the curve reaches amount ``y``."""
+        if not self._segments:
+            raise ValueError("empty runtime curve")
+        first = self._segments[0]
+        if y <= first.y:
+            return first.x
+        for i, seg in enumerate(self._segments):
+            end_x = self._segments[i + 1].x if i + 1 < len(self._segments) else INFINITY
+            end_y = seg.value(end_x) if end_x != INFINITY else INFINITY
+            if y <= end_y or end_x == INFINITY:
+                if seg.slope == 0:
+                    if y <= seg.y:
+                        return seg.x
+                    continue  # flat segment never reaches y; try later ones
+                return seg.x + (y - seg.y) / seg.slope
+        return INFINITY
+
+    # ------------------------------------------------------------------
+    # rtsc_min: curve = min(curve, sc shifted to (x, y))
+    # ------------------------------------------------------------------
+    def min_with(self, sc: ServiceCurve, x: float, y: float) -> None:
+        other = RuntimeCurve.from_service_curve(sc, x, y)
+        if self.is_empty:
+            self._segments = other._segments
+            return
+        self._segments = _piecewise_min(self._segments, other._segments)
+
+    def segments(self) -> List[Tuple[float, float, float]]:
+        return [(s.x, s.y, s.slope) for s in self._segments]
+
+
+def _eval(segments: List[_Segment], t: float) -> float:
+    seg = segments[0]
+    if t <= seg.x:
+        return seg.y
+    for candidate in segments[1:]:
+        if candidate.x > t:
+            break
+        seg = candidate
+    return seg.value(t)
+
+
+def _slope_at(segments: List[_Segment], t: float) -> float:
+    """Slope in effect just after time t (left edge extends flat-back)."""
+    if t < segments[0].x:
+        return 0.0
+    slope = segments[0].slope
+    for candidate in segments[1:]:
+        if candidate.x > t:
+            break
+        slope = candidate.slope
+    return slope
+
+
+def _piecewise_min(a: List[_Segment], b: List[_Segment]) -> List[_Segment]:
+    """Exact min of two non-decreasing piecewise-linear functions.
+
+    Functions are extended to the left of their first breakpoint as the
+    constant of that breakpoint's y (matching ``y_at_x``).
+    """
+    xs = sorted({s.x for s in a} | {s.x for s in b})
+    # Add pairwise intersection points within each interval.
+    breakpoints = set(xs)
+    for i, x0 in enumerate(xs):
+        x1 = xs[i + 1] if i + 1 < len(xs) else x0 + 1e9
+        ya0, yb0 = _eval(a, x0), _eval(b, x0)
+        sa, sb = _slope_at(a, x0), _slope_at(b, x0)
+        if sa != sb:
+            t_cross = x0 + (yb0 - ya0) / (sa - sb)
+            if x0 < t_cross < x1:
+                breakpoints.add(t_cross)
+    result: List[_Segment] = []
+    for x in sorted(breakpoints):
+        ya, yb = _eval(a, x), _eval(b, x)
+        sa, sb = _slope_at(a, x), _slope_at(b, x)
+        # Tolerant comparison: at a crossing, float error can put either
+        # side marginally lower; treat near-equal values as a tie and
+        # break it by slope so the true min wins just after x.
+        tolerance = 1e-9 * max(1.0, abs(ya), abs(yb))
+        if ya < yb - tolerance:
+            y, slope = ya, sa
+        elif yb < ya - tolerance:
+            y, slope = yb, sb
+        elif sa <= sb:
+            y, slope = ya, sa
+        else:
+            y, slope = yb, sb
+        if result and result[-1].slope == slope and math.isclose(
+            result[-1].value(x), y, rel_tol=1e-12, abs_tol=1e-9
+        ):
+            continue  # collinear with the previous segment
+        result.append(_Segment(x, y, slope))
+    return result

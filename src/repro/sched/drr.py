@@ -1,0 +1,204 @@
+"""The weighted Deficit Round Robin plugin (§6.1).
+
+"Since our architecture already offers mechanisms to store per-flow
+information in the flow table records, it was straightforward to add a
+queue per flow which guarantees perfectly fair queuing for all flows.
+In order to allow bandwidth reservations, we have implemented a weighted
+form of DRR which assigns weights to queues."
+
+Per-flow queues are hung off the flow table's per-gate soft-state slot
+(``ctx.slot.private``); packets arriving outside a flow context (e.g.
+direct ``set_scheduler`` use) fall back to an internal five-tuple map.
+
+Weights:
+
+* best-effort flows share a fixed default weight;
+* reservations attach a weight to a *filter record* (hard state, §5.1.1);
+  every flow derived from that filter inherits it.  Weights are expressed
+  in rate units (Mbit/s) so DRR's share ∝ weight gives the reserved flow
+  its configured fraction ("dynamically recalculated for reserved
+  flows", §6.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.messages import Message
+from ..core.plugin import PluginContext
+from ..net.packet import Packet
+from .base import DEFAULT_QUEUE_LIMIT, PacketQueue, SchedulerInstance, SchedulerPlugin
+
+DEFAULT_QUANTUM = 1500          # bytes per weight unit per round
+DEFAULT_WEIGHT = 1.0
+
+
+class DrrFlowQueue:
+    """One flow's queue + deficit counter (the slot.private object)."""
+
+    __slots__ = ("queue", "deficit", "weight", "active", "needs_quantum", "label")
+
+    def __init__(self, weight: float = DEFAULT_WEIGHT, limit: int = DEFAULT_QUEUE_LIMIT, label=None):
+        self.queue = PacketQueue(limit)
+        self.deficit = 0.0
+        self.weight = weight
+        self.active = False
+        self.needs_quantum = True   # gets its quantum on the next round visit
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"DrrFlowQueue({self.label}, w={self.weight}, {len(self.queue)} pkts)"
+
+
+class DrrInstance(SchedulerInstance):
+    """Weighted DRR over per-flow queues."""
+
+    def __init__(self, plugin, **config):
+        super().__init__(plugin, **config)
+        self.quantum = config.get("quantum", DEFAULT_QUANTUM)
+        self.default_weight = config.get("default_weight", DEFAULT_WEIGHT)
+        self.queue_limit = config.get("limit", DEFAULT_QUEUE_LIMIT)
+        if self.quantum <= 0:
+            raise ConfigurationError("DRR quantum must be positive")
+        self._active: Deque[DrrFlowQueue] = deque()
+        # Reservations: filter record -> weight (rate units).
+        self._filter_weights: Dict[object, float] = {}
+        # Fallback per-flow map for packets without a flow-table context.
+        self._anonymous: Dict[Tuple, DrrFlowQueue] = {}
+        self._backlog = 0
+
+    # ------------------------------------------------------------------
+    # Weight management (control path)
+    # ------------------------------------------------------------------
+    def set_weight(self, filter_record, weight: float) -> None:
+        """Attach a weight to all flows derived from a filter record."""
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self._filter_weights[filter_record] = float(weight)
+        filter_record.private = float(weight)
+
+    def reserve(self, filter_record, rate_bps: float) -> None:
+        """Reserve bandwidth: weight in Mbit/s units (share ∝ weight).
+
+        The unit keeps quantum × weight at packet scale — per round a
+        1 Mbit/s reservation earns one quantum — so DRR rounds keep
+        cycling and a large reservation cannot monopolize the link
+        between rounds.
+        """
+        if rate_bps <= 0:
+            raise ConfigurationError("reserved rate must be positive")
+        self.set_weight(filter_record, rate_bps / 1_000_000.0)
+
+    def weight_for(self, filter_record) -> float:
+        if filter_record is not None and filter_record in self._filter_weights:
+            return self._filter_weights[filter_record]
+        return self.default_weight
+
+    # ------------------------------------------------------------------
+    # Flow-state plumbing
+    # ------------------------------------------------------------------
+    def on_flow_created(self, flow, slot) -> None:
+        slot.private = DrrFlowQueue(
+            weight=self.weight_for(slot.filter_record),
+            limit=self.queue_limit,
+            label=flow.key,
+        )
+
+    def on_flow_removed(self, flow, slot) -> None:
+        queue: Optional[DrrFlowQueue] = slot.private
+        if queue is None:
+            return
+        # Drain any still-queued packets of an evicted flow.
+        while queue.queue:
+            queue.queue.pop()
+            self._backlog -= 1
+        if queue in self._active:
+            self._active.remove(queue)
+        slot.private = None
+
+    def _queue_for(self, packet: Packet, ctx: PluginContext) -> DrrFlowQueue:
+        if ctx.slot is not None:
+            if ctx.slot.private is None:
+                # Flow classified before this instance was bound.
+                self.on_flow_created(ctx.flow, ctx.slot)
+            return ctx.slot.private
+        key = packet.five_tuple()
+        queue = self._anonymous.get(key)
+        if queue is None:
+            queue = DrrFlowQueue(self.default_weight, self.queue_limit, label=key)
+            self._anonymous[key] = queue
+        return queue
+
+    # ------------------------------------------------------------------
+    # Scheduler contract
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, ctx: PluginContext) -> bool:
+        queue = self._queue_for(packet, ctx)
+        if not queue.queue.push(packet):
+            return False
+        self._backlog += 1
+        if not queue.active:
+            queue.active = True
+            queue.deficit = 0.0
+            queue.needs_quantum = True
+            self._active.append(queue)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Standard DRR: one quantum per round visit, serve while the
+        deficit lasts, then rotate to the tail."""
+        while self._active:
+            queue = self._active[0]
+            head = queue.queue.head()
+            if head is None:
+                queue.active = False
+                queue.deficit = 0.0
+                queue.needs_quantum = True
+                self._active.popleft()
+                continue
+            if queue.needs_quantum:
+                queue.deficit += self.quantum * queue.weight
+                queue.needs_quantum = False
+            if queue.deficit < head.length:
+                # Deficit exhausted: back of the round-robin list; the
+                # next visit grants a fresh quantum.
+                queue.needs_quantum = True
+                self._active.rotate(-1)
+                continue
+            packet = queue.queue.pop()
+            queue.deficit -= packet.length
+            self._backlog -= 1
+            if not queue.queue:
+                queue.active = False
+                queue.deficit = 0.0
+                queue.needs_quantum = True
+                self._active.popleft()
+            self._account_sent(packet)
+            return packet
+        return None
+
+    def backlog(self) -> int:
+        return self._backlog
+
+    def active_flows(self) -> int:
+        return len(self._active)
+
+
+class DrrPlugin(SchedulerPlugin):
+    """The weighted DRR loadable module ("less than 600 lines of C")."""
+
+    name = "drr"
+    instance_class = DrrInstance
+
+    def handle_custom(self, message: Message):
+        if message.type == "set_weight":
+            instance: DrrInstance = message.args["instance"]
+            instance.set_weight(message.args["record"], message.args["weight"])
+            return True
+        if message.type == "reserve":
+            instance = message.args["instance"]
+            instance.reserve(message.args["record"], message.args["rate_bps"])
+            return True
+        return super().handle_custom(message)

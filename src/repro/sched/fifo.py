@@ -1,0 +1,40 @@
+"""A plain FIFO scheduler plugin — the best-effort reference discipline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.plugin import PluginContext
+from ..net.packet import Packet
+from .base import DEFAULT_QUEUE_LIMIT, PacketQueue, SchedulerInstance, SchedulerPlugin
+
+
+class FifoInstance(SchedulerInstance):
+    """Single bounded queue, first in first out."""
+
+    # FIFO is much cheaper than DRR; a small symbolic charge.
+    enqueue_cost = 100
+    dequeue_cost = 100
+
+    def __init__(self, plugin, **config):
+        super().__init__(plugin, **config)
+        self.queue = PacketQueue(limit=config.get("limit", DEFAULT_QUEUE_LIMIT))
+
+    def enqueue(self, packet: Packet, ctx: PluginContext) -> bool:
+        return self.queue.push(packet)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = self.queue.pop()
+        if packet is not None:
+            self._account_sent(packet)
+        return packet
+
+    def backlog(self) -> int:
+        return len(self.queue)
+
+
+class FifoPlugin(SchedulerPlugin):
+    """Loadable FIFO scheduler module."""
+
+    name = "fifo"
+    instance_class = FifoInstance

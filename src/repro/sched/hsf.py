@@ -1,0 +1,82 @@
+"""The Hierarchical Scheduling Framework (HSF) — the paper's §8 future
+work, implemented: "this will allow us to combine both the H-FSC and the
+DRR scheduling schemes, where DRR could be used to do fair queuing for
+all flows ending in the same H-FSC leaf node".
+
+An :class:`HsfInstance` is an H-FSC scheduler whose leaf classes may use
+a weighted-DRR discipline instead of the plain FIFO, so flows sharing a
+leaf are served fairly rather than FIFO-interleaved (fixing the
+unfairness the paper notes in CMU's port).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.plugin import PluginContext
+from ..net.packet import Packet
+from .base import DEFAULT_QUEUE_LIMIT
+from .drr import DrrInstance, DrrPlugin
+from .hfsc import HfscClass, HfscInstance, HfscPlugin
+
+
+class DrrLeafQueue:
+    """A weighted-DRR discipline behind the PacketQueue interface.
+
+    ``head()`` peeks at the next candidate queue's head; DRR's rotation
+    may serve a different flow's packet, so deadlines computed from the
+    peek are approximate by at most one MTU — documented deviation.
+    """
+
+    def __init__(self, quantum: int = 1500, limit: int = DEFAULT_QUEUE_LIMIT):
+        self._drr = DrrPlugin().create_instance(quantum=quantum, limit=limit)
+        self.drops = 0
+
+    @property
+    def drr(self) -> DrrInstance:
+        return self._drr
+
+    def push(self, packet: Packet) -> bool:
+        ok = self._drr.enqueue(packet, PluginContext())
+        if not ok:
+            self.drops += 1
+        return ok
+
+    def pop(self) -> Optional[Packet]:
+        return self._drr.dequeue(0.0)
+
+    def head(self) -> Optional[Packet]:
+        active = self._drr._active
+        if not active:
+            return None
+        return active[0].queue.head()
+
+    @property
+    def bytes(self) -> int:
+        return sum(q.queue.bytes for q in self._drr._active)
+
+    def __len__(self) -> int:
+        return self._drr.backlog()
+
+    def __bool__(self) -> bool:
+        return self._drr.backlog() > 0
+
+
+class HsfInstance(HfscInstance):
+    """H-FSC with per-leaf pluggable disciplines."""
+
+    def add_class(self, name, parent="root", leaf_discipline="fifo", **kwargs) -> HfscClass:
+        quantum = kwargs.pop("quantum", 1500)
+        cls = super().add_class(name, parent=parent, **kwargs)
+        if leaf_discipline == "drr":
+            cls.queue = DrrLeafQueue(quantum=quantum, limit=kwargs.get("qlimit", DEFAULT_QUEUE_LIMIT))
+        elif leaf_discipline != "fifo":
+            raise ValueError(f"unknown leaf discipline {leaf_discipline!r}")
+        return cls
+
+
+class HsfPlugin(HfscPlugin):
+    """The HSF loadable module."""
+
+    name = "hsf"
+    instance_class = HsfInstance

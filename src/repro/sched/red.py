@@ -1,0 +1,86 @@
+"""Random Early Detection — the congestion-control plugin the paper
+lists among envisioned plugin types (§4: "a plugin for congestion
+control mechanisms (e.g., RED)").
+
+Classic RED (Floyd & Jacobson 1993): an EWMA of the queue length; below
+``min_th`` always enqueue, above ``max_th`` always drop, in between drop
+with probability rising to ``max_p`` (with the count-based correction
+that spaces drops out evenly).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+from ..core.plugin import PluginContext, TYPE_CONGESTION
+from ..net.packet import Packet
+from .base import DEFAULT_QUEUE_LIMIT, PacketQueue, SchedulerInstance, SchedulerPlugin
+
+
+class RedInstance(SchedulerInstance):
+    """A RED-managed FIFO queue."""
+
+    enqueue_cost = 300
+    dequeue_cost = 100
+
+    def __init__(self, plugin, **config):
+        super().__init__(plugin, **config)
+        self.min_th = config.get("min_th", 5.0)
+        self.max_th = config.get("max_th", 15.0)
+        self.max_p = config.get("max_p", 0.1)
+        self.weight = config.get("ewma_weight", 0.002)
+        if not 0 < self.weight <= 1:
+            raise ConfigurationError("EWMA weight must be in (0, 1]")
+        if self.min_th >= self.max_th:
+            raise ConfigurationError("min_th must be below max_th")
+        self.queue = PacketQueue(limit=config.get("limit", DEFAULT_QUEUE_LIMIT))
+        self.avg = 0.0
+        self._count = -1
+        self._rng = random.Random(config.get("seed", 0))
+        self.early_drops = 0
+        self.forced_drops = 0
+
+    # ------------------------------------------------------------------
+    def _update_avg(self) -> None:
+        self.avg += self.weight * (len(self.queue) - self.avg)
+
+    def enqueue(self, packet: Packet, ctx: PluginContext) -> bool:
+        self._update_avg()
+        if self.avg >= self.max_th:
+            self.forced_drops += 1
+            self._count = 0
+            return False
+        if self.avg >= self.min_th:
+            self._count += 1
+            base_p = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+            denominator = max(1e-9, 1.0 - self._count * base_p)
+            probability = min(1.0, base_p / denominator)
+            if self._rng.random() < probability:
+                self.early_drops += 1
+                self._count = 0
+                return False
+        else:
+            self._count = -1
+        if not self.queue.push(packet):
+            self.forced_drops += 1
+            return False
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = self.queue.pop()
+        if packet is not None:
+            self._account_sent(packet)
+        return packet
+
+    def backlog(self) -> int:
+        return len(self.queue)
+
+
+class RedPlugin(SchedulerPlugin):
+    """RED as a loadable congestion-control module."""
+
+    plugin_type = TYPE_CONGESTION
+    name = "red"
+    instance_class = RedInstance

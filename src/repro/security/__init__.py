@@ -1,0 +1,32 @@
+"""IP security plugins: AH, ESP (tunnel VPN), firewall, and the SADB."""
+
+from .ah import AhInboundInstance, AhOutboundInstance, AhPlugin
+from .esp import EspInboundInstance, EspOutboundInstance, EspPlugin
+from .firewall import FirewallInstance, FirewallPlugin
+from .hw_offload import HwEspInboundInstance, HwEspOutboundInstance, HwEspPlugin
+from .sa import (
+    ICV_BYTES,
+    ReplayWindow,
+    SADatabase,
+    SecurityAssociation,
+    SecurityError,
+)
+
+__all__ = [
+    "AhInboundInstance",
+    "AhOutboundInstance",
+    "AhPlugin",
+    "EspInboundInstance",
+    "EspOutboundInstance",
+    "EspPlugin",
+    "FirewallInstance",
+    "FirewallPlugin",
+    "HwEspInboundInstance",
+    "HwEspOutboundInstance",
+    "HwEspPlugin",
+    "ICV_BYTES",
+    "ReplayWindow",
+    "SADatabase",
+    "SecurityAssociation",
+    "SecurityError",
+]

@@ -1,0 +1,32 @@
+"""Simulation substrate: discrete-event loop and the cycle cost model."""
+
+from .cost import (
+    CPU_HZ,
+    CYCLES_PER_MEMORY_ACCESS,
+    Costs,
+    CycleMeter,
+    MemoryMeter,
+    MEMORY_ACCESS_NS,
+    NULL_METER,
+    NullMeter,
+    cycles_to_us,
+    memory_accesses_to_us,
+    us_to_cycles,
+)
+from .events import Event, EventLoop
+
+__all__ = [
+    "CPU_HZ",
+    "CYCLES_PER_MEMORY_ACCESS",
+    "Costs",
+    "CycleMeter",
+    "MemoryMeter",
+    "MEMORY_ACCESS_NS",
+    "NULL_METER",
+    "NullMeter",
+    "cycles_to_us",
+    "memory_accesses_to_us",
+    "us_to_cycles",
+    "Event",
+    "EventLoop",
+]

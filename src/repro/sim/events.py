@@ -1,0 +1,105 @@
+"""A small discrete-event simulator with a virtual clock.
+
+The router kernels, schedulers, links and daemons all run against this
+loop, so experiments are deterministic and independent of Python's real
+execution speed.  Time is in seconds (float).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback; ``cancel()`` prevents it from firing."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.9f}, {getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class EventLoop:
+    """A priority-queue event loop over a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self.events_run = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any) -> Event:
+        return self.schedule_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_run += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run events until the queue drains or virtual time passes ``until``."""
+        count = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            if not self.step():
+                return
+            count += 1
+            if count > max_events:
+                raise RuntimeError(f"event loop exceeded {max_events} events")
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        self.run(until=None, max_events=max_events)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:
+        return f"EventLoop(now={self.now:.9f}, pending={self.pending})"

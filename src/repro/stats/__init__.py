@@ -1,0 +1,39 @@
+"""Statistics plugin and experiment metrics."""
+
+from .metrics import (
+    RateMeter,
+    jain_fairness,
+    mean,
+    percentile,
+    share_error,
+    stddev,
+    summarize,
+)
+from .plugin import (
+    COLLECTORS,
+    StatisticsInstance,
+    StatisticsPlugin,
+    collect_protocols,
+    collect_sizes,
+    collect_volume,
+)
+from .tcp_monitor import TcpFlowState, TcpMonitorInstance, TcpMonitorPlugin
+
+__all__ = [
+    "RateMeter",
+    "jain_fairness",
+    "mean",
+    "percentile",
+    "share_error",
+    "stddev",
+    "summarize",
+    "COLLECTORS",
+    "StatisticsInstance",
+    "StatisticsPlugin",
+    "collect_protocols",
+    "collect_sizes",
+    "collect_volume",
+    "TcpFlowState",
+    "TcpMonitorInstance",
+    "TcpMonitorPlugin",
+]

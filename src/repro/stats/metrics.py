@@ -1,0 +1,109 @@
+"""Experiment metrics: fairness indices, percentiles, rate meters."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def jain_fairness(allocations: Iterable[float]) -> float:
+    """Jain's fairness index: 1.0 is perfectly fair, 1/n is worst."""
+    values = [v for v in allocations]
+    if not values:
+        raise ValueError("no allocations")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile out of range")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = p / 100 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("no samples")
+    return sum(samples) / len(samples)
+
+
+def stddev(samples: Sequence[float]) -> float:
+    if len(samples) < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((s - mu) ** 2 for s in samples) / (len(samples) - 1))
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """The usual five-number-ish summary used by benchmark output."""
+    return {
+        "mean": mean(samples),
+        "stddev": stddev(samples),
+        "min": min(samples),
+        "p50": percentile(samples, 50),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+    }
+
+
+class RateMeter:
+    """Bytes/packets observed over a time window -> rates."""
+
+    def __init__(self):
+        self.packets = 0
+        self.bytes = 0
+        self.first_time: float = math.inf
+        self.last_time: float = -math.inf
+
+    def observe(self, size: int, at_time: float) -> None:
+        self.packets += 1
+        self.bytes += size
+        self.first_time = min(self.first_time, at_time)
+        self.last_time = max(self.last_time, at_time)
+
+    @property
+    def duration(self) -> float:
+        if self.packets == 0:
+            return 0.0
+        return max(self.last_time - self.first_time, 0.0)
+
+    @property
+    def bps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes * 8 / self.duration
+
+    @property
+    def pps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.packets / self.duration
+
+
+def share_error(served: Dict[object, float], weights: Dict[object, float]) -> float:
+    """Max relative deviation of served shares from weighted ideal."""
+    total_served = sum(served.values())
+    total_weight = sum(weights.values())
+    if total_served == 0 or total_weight == 0:
+        raise ValueError("nothing served or zero weights")
+    worst = 0.0
+    for key, weight in weights.items():
+        ideal = weight / total_weight
+        actual = served.get(key, 0.0) / total_served
+        worst = max(worst, abs(actual - ideal) / ideal)
+    return worst

@@ -1,0 +1,39 @@
+"""Synthetic workloads: flow-structured traffic and filter sets."""
+
+from .filtersets import (
+    PORT_CATALOGUE,
+    matching_probe,
+    random_filters,
+    table3_filters,
+)
+from .pcap import PcapError, iter_pcap, read_pcap, replay_into, write_pcap
+from .flows import (
+    FlowSpec,
+    TimedPacket,
+    bursty_arrivals,
+    pareto_on_off,
+    poisson_arrivals,
+    round_robin_trains,
+    synthetic_flows,
+    table3_flows,
+)
+
+__all__ = [
+    "PORT_CATALOGUE",
+    "matching_probe",
+    "random_filters",
+    "table3_filters",
+    "FlowSpec",
+    "TimedPacket",
+    "bursty_arrivals",
+    "pareto_on_off",
+    "poisson_arrivals",
+    "round_robin_trains",
+    "synthetic_flows",
+    "table3_flows",
+    "PcapError",
+    "iter_pcap",
+    "read_pcap",
+    "replay_into",
+    "write_pcap",
+]

@@ -1,0 +1,104 @@
+"""Corner cases of filter semantics the six-tuple model implies."""
+
+import pytest
+
+from repro.aiu import AIU
+from repro.aiu.dag import DagFilterTable
+from repro.aiu.filters import Filter, PortSpec
+from repro.aiu.records import FilterRecord
+from repro.net.addresses import IPV6_WIDTH
+from repro.net.packet import make_tcp, make_udp
+
+GATES = ("ip_options", "ip_security", "packet_scheduling")
+
+
+class TestFilterCornerCases:
+    def test_port_zero_is_a_real_value(self):
+        """Portless protocols classify with port 0; an exact-0 filter
+        matches them, a 1-65535 range does not."""
+        exact_zero = Filter.parse("*, *, *, 0, 0")
+        nonzero = Filter.parse("*, *, *, 1-65535, 1-65535")
+        from repro.net.packet import Packet
+        from repro.net.addresses import IPAddress
+
+        icmp = Packet(src=IPAddress.parse("1.1.1.1"),
+                      dst=IPAddress.parse("2.2.2.2"), protocol=1)
+        assert exact_zero.matches(icmp)
+        assert not nonzero.matches(icmp)
+
+    def test_default_filter_matches_everything(self):
+        flt = Filter()
+        assert flt.matches(make_udp("1.2.3.4", "5.6.7.8", 9, 10))
+        assert flt.matches(make_tcp("2001:db8::1", "2001:db8::2", 1, 2))
+
+    def test_filter_equality_and_hash(self):
+        a = Filter.parse("10.*, *, UDP, 53, *")
+        b = Filter.parse("10.0.0.0/8, *, 17, 53, *")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_specificity_total_order_examples(self):
+        ordered = [
+            Filter.parse("10.0.0.1, 20.0.0.1, UDP, 53, 53, atm0"),
+            Filter.parse("10.0.0.1, 20.0.0.1, UDP, 53, 53"),
+            Filter.parse("10.0.0.1, 20.0.0.1, UDP"),
+            Filter.parse("10.0.0.1, 20.0.0.0/8"),
+            Filter.parse("10.0.0.0/8, *"),
+            Filter(),
+        ]
+        keys = [f.specificity() for f in ordered]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_portspec_exact_covers_itself_only(self):
+        spec = PortSpec.exact(80)
+        assert spec.covers(spec)
+        assert not spec.covers(PortSpec.exact(81))
+
+    def test_v6_dag_paper_style_walk(self):
+        """The Table 1 walk transposed to IPv6."""
+        table = DagFilterTable(width=IPV6_WIDTH)
+        f1 = FilterRecord(Filter.parse("2001:db8::/32, 2001:db8:ff::1, TCP"), "g")
+        f2 = FilterRecord(
+            Filter.parse("2001:db8:1::1, 2001:db8:2::7, UDP"), "g"
+        )
+        f4 = FilterRecord(Filter.parse("2001:db8:1::/48, *, UDP"), "g")
+        for record in (f1, f2, f4):
+            table.install(record)
+        exact = make_udp("2001:db8:1::1", "2001:db8:2::7", 1, 2)
+        assert table.lookup(exact) is f2
+        subnet = make_udp("2001:db8:1::99", "9::9", 1, 2)
+        assert table.lookup(subnet) is f4
+
+
+class TestAiuCornerCases:
+    def test_remove_dual_family_filter_cleans_both_tables(self):
+        aiu = AIU(GATES, flow_buckets=64)
+        record = aiu.create_filter("ip_security", "*, *, UDP", instance="x")
+        # Classify one packet per family so both tables were exercised.
+        v4 = make_udp("10.0.0.1", "20.0.0.1", 1, 2)
+        v6 = make_udp("2001:db8::1", "2001:db8::2", 1, 2)
+        assert aiu.classify(v4, "ip_security")[0] == "x"
+        assert aiu.classify(v6, "ip_security")[0] == "x"
+        assert aiu.remove_filter(record)
+        assert aiu.filter_count() == 0
+        assert aiu.classify(make_udp("10.0.0.2", "20.0.0.1", 1, 2),
+                            "ip_security")[0] is None
+        assert aiu.classify(make_udp("2001:db8::3", "2001:db8::2", 1, 2),
+                            "ip_security")[0] is None
+
+    def test_priority_rebinding_order(self):
+        aiu = AIU(GATES, flow_buckets=64)
+        aiu.create_filter("ip_security", "*, *, UDP", instance="low", priority=0)
+        aiu.create_filter("ip_security", "*, *, UDP", instance="high", priority=9)
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 1, 2)
+        assert aiu.classify(pkt, "ip_security")[0] == "high"
+
+    def test_same_filter_different_gates_are_independent(self):
+        aiu = AIU(GATES, flow_buckets=64)
+        aiu.create_filter("ip_security", "10.*, *, UDP", instance="sec")
+        aiu.create_filter("packet_scheduling", "10.*, *, UDP", instance="sched")
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 1, 2)
+        _, record = aiu.classify(pkt, "ip_security")
+        assert record.slot(aiu.gate_index("ip_security")).instance == "sec"
+        assert record.slot(aiu.gate_index("packet_scheduling")).instance == "sched"
+        assert record.slot(aiu.gate_index("ip_options")).instance is None

@@ -1,0 +1,190 @@
+"""Tests for filter six-tuples, port specs, and flow keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aiu.filters import Filter, FilterError, FlowKey, PortSpec
+from repro.net.headers import PROTO_TCP, PROTO_UDP
+from repro.net.packet import make_tcp, make_udp
+
+
+class TestPortSpec:
+    def test_wildcard(self):
+        spec = PortSpec.parse("*")
+        assert spec.is_wildcard
+        assert spec.matches(0)
+        assert spec.matches(65535)
+        assert spec.specificity == 0
+
+    def test_exact(self):
+        spec = PortSpec.parse("80")
+        assert spec.is_exact
+        assert spec.matches(80)
+        assert not spec.matches(81)
+        assert spec.specificity == 65535
+
+    def test_range(self):
+        spec = PortSpec.parse("0-1023")
+        assert spec.matches(0)
+        assert spec.matches(1023)
+        assert not spec.matches(1024)
+        assert 0 < spec.specificity < 65535
+
+    def test_covers(self):
+        assert PortSpec.parse("*").covers(PortSpec.parse("80"))
+        assert PortSpec.parse("0-1023").covers(PortSpec.parse("22"))
+        assert not PortSpec.parse("80").covers(PortSpec.parse("0-1023"))
+
+    def test_partial_overlap(self):
+        a, b = PortSpec(10, 20), PortSpec(15, 30)
+        assert a.partially_overlaps(b)
+        assert not a.partially_overlaps(PortSpec(12, 18))  # contained
+        assert not a.partially_overlaps(PortSpec(21, 30))  # disjoint
+
+    @pytest.mark.parametrize("bad", ["70000", "-1", "20-10", "a-b", "x"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FilterError):
+            PortSpec.parse(bad)
+
+    def test_str_roundtrip(self):
+        for text in ["*", "80", "0-1023"]:
+            assert str(PortSpec.parse(text)) == text
+
+
+class TestFilterParse:
+    def test_paper_example(self):
+        # §3: <129.*.*.*, 192.94.233.10, TCP, *, *, *>
+        flt = Filter.parse("<129.*.*.*, 192.94.233.10, TCP, *, *, *>")
+        assert flt.src.length == 8
+        assert flt.dst.is_host
+        assert flt.protocol == PROTO_TCP
+        assert flt.sport.is_wildcard and flt.dport.is_wildcard
+        assert flt.iif is None
+
+    def test_short_form_pads_with_wildcards(self):
+        flt = Filter.parse("10.0.0.0/8, *")
+        assert flt.src.length == 8
+        assert flt.dst.is_wildcard
+        assert flt.protocol is None
+
+    def test_interface_field(self):
+        flt = Filter.parse("*, *, UDP, *, *, atm0")
+        assert flt.iif == "atm0"
+
+    def test_too_many_fields(self):
+        with pytest.raises(FilterError):
+            Filter.parse("*,*,*,*,*,*,*")
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(FilterError):
+            Filter.parse("10.0.0.0/8, 2001:db8::1")
+
+    def test_str_renders_paper_notation(self):
+        text = "<129.0.0.0/8, 192.94.233.10/32, 6, *, *, *>"
+        assert str(Filter.parse(text)) == text
+
+
+class TestFilterMatch:
+    def test_table1_filter1(self):
+        flt = Filter.parse("129.*, 192.94.233.10, TCP")
+        assert flt.matches(make_tcp("129.1.2.3", "192.94.233.10", 1, 2))
+        assert not flt.matches(make_udp("129.1.2.3", "192.94.233.10", 1, 2))
+        assert not flt.matches(make_tcp("130.1.2.3", "192.94.233.10", 1, 2))
+
+    def test_port_constraints(self):
+        flt = Filter.parse("*, *, TCP, 1024-65535, 80")
+        assert flt.matches(make_tcp("1.1.1.1", "2.2.2.2", 5000, 80))
+        assert not flt.matches(make_tcp("1.1.1.1", "2.2.2.2", 500, 80))
+        assert not flt.matches(make_tcp("1.1.1.1", "2.2.2.2", 5000, 81))
+
+    def test_iif_constraint(self):
+        flt = Filter.parse("*, *, *, *, *, atm0")
+        assert flt.matches(make_udp("1.1.1.1", "2.2.2.2", 1, 2, iif="atm0"))
+        assert not flt.matches(make_udp("1.1.1.1", "2.2.2.2", 1, 2, iif="atm1"))
+
+    def test_family_gating(self):
+        v4 = Filter.parse("10.0.0.0/8, *")
+        assert not v4.matches(make_udp("2001:db8::1", "2001:db8::2", 1, 2))
+
+    def test_wildcard_filter_matches_both_families(self):
+        flt = Filter()
+        assert flt.matches(make_udp("1.1.1.1", "2.2.2.2", 1, 2))
+        assert flt.matches(make_udp("2001:db8::1", "2001:db8::2", 1, 2))
+
+    def test_for_flow_is_fully_specified_and_matches(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 5000, 53, iif="atm0")
+        flt = Filter.for_flow(pkt)
+        assert flt.is_fully_specified
+        assert flt.matches(pkt)
+
+
+class TestFilterOrdering:
+    def test_specificity_is_lexicographic_by_level(self):
+        host_src = Filter.parse("10.0.0.1, *")
+        net_src_host_dst = Filter.parse("10.0.0.0/8, 20.0.0.1")
+        # A /32 source dominates any destination specificity.
+        assert host_src.specificity() > net_src_host_dst.specificity()
+
+    def test_table1_filter2_more_specific_than_filter4(self):
+        f2 = Filter.parse("128.252.153.1, 128.252.153.7, UDP")
+        f4 = Filter.parse("128.252.153.*, *, UDP")
+        assert f2.specificity() > f4.specificity()
+        assert f4.covers(f2)
+        assert not f2.covers(f4)
+
+    def test_disjoint_filters_do_not_cover(self):
+        f1 = Filter.parse("129.*, 192.94.233.10, TCP")
+        f4 = Filter.parse("128.252.153.*, *, UDP")
+        assert not f1.covers(f4)
+        assert not f4.covers(f1)
+
+    def test_wildcard_covers_everything(self):
+        top = Filter()
+        specific = Filter.parse("10.1.1.1, 10.2.2.2, TCP, 80, 80, atm0")
+        assert top.covers(specific)
+
+
+class TestFlowKey:
+    def test_of_packet(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 5000, 53, iif="atm0")
+        key = FlowKey.of(pkt)
+        assert key.matches_packet(pkt)
+        assert key.iif == "atm0"
+
+    def test_distinguishes_flows(self):
+        a = FlowKey.of(make_udp("10.0.0.1", "10.0.0.2", 5000, 53))
+        other = make_udp("10.0.0.1", "10.0.0.2", 5001, 53)
+        assert not a.matches_packet(other)
+
+    def test_hash_index_in_range(self):
+        key = FlowKey.of(make_udp("10.0.0.1", "10.0.0.2", 5000, 53))
+        assert 0 <= key.hash_index(32767) <= 32767
+
+    def test_hash_index_v6(self):
+        key = FlowKey.of(make_udp("2001:db8::1", "2001:db8::2", 5000, 53))
+        assert 0 <= key.hash_index(32767) <= 32767
+
+
+@given(
+    low=st.integers(0, 65535),
+    high=st.integers(0, 65535),
+    probe=st.integers(0, 65535),
+)
+def test_portspec_match_matches_interval(low, high, probe):
+    if low > high:
+        low, high = high, low
+    spec = PortSpec(low, high)
+    assert spec.matches(probe) == (low <= probe <= high)
+
+
+@given(
+    a_low=st.integers(0, 100), a_len=st.integers(0, 100),
+    b_low=st.integers(0, 100), b_len=st.integers(0, 100),
+)
+def test_portspec_overlap_symmetry(a_low, a_len, b_low, b_len):
+    a = PortSpec(a_low, a_low + a_len)
+    b = PortSpec(b_low, b_low + b_len)
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.partially_overlaps(b) == b.partially_overlaps(a)
+    if a.covers(b) and b.covers(a):
+        assert a == b

@@ -1,0 +1,61 @@
+"""Tests for the IPv6 flow-label hashing fast path."""
+
+import pytest
+
+from repro.aiu.flow_table import FlowTable
+from repro.net.packet import make_udp
+from repro.sim.cost import Costs, CycleMeter
+
+
+def _v6(label, i=1):
+    return make_udp(f"2001:db8::{i:x}", "2001:db8::ff", 5000 + i, 53,
+                    flow_label=label)
+
+
+class TestFlowLabelHashing:
+    def test_label_hash_is_cheaper(self):
+        table = FlowTable(gate_count=1, buckets=1024, use_flow_label=True)
+        table.install(_v6(0x12345))
+        cycles = CycleMeter()
+        table.lookup(_v6(0x12345), cycles=cycles)
+        assert cycles.breakdown()["flow_hash"] == Costs.FLOW_LABEL_HASH
+
+    def test_label_zero_falls_back_to_five_tuple(self):
+        table = FlowTable(gate_count=1, buckets=1024, use_flow_label=True)
+        table.install(_v6(0))
+        cycles = CycleMeter()
+        assert table.lookup(_v6(0), cycles=cycles) is not None
+        assert cycles.breakdown()["flow_hash"] == Costs.FLOW_HASH
+
+    def test_v4_always_uses_five_tuple(self):
+        table = FlowTable(gate_count=1, buckets=1024, use_flow_label=True)
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 5000, 53)
+        table.install(pkt)
+        cycles = CycleMeter()
+        assert table.lookup(make_udp("10.0.0.1", "20.0.0.1", 5000, 53),
+                            cycles=cycles) is not None
+        assert cycles.breakdown()["flow_hash"] == Costs.FLOW_HASH
+
+    def test_lookup_finds_label_installed_flow(self):
+        table = FlowTable(gate_count=1, buckets=1024, use_flow_label=True)
+        record = table.install(_v6(0x54321))
+        assert table.lookup(_v6(0x54321)) is record
+
+    def test_colliding_labels_disambiguated_by_five_tuple(self):
+        """Two flows sharing (src, label) still resolve correctly."""
+        table = FlowTable(gate_count=1, buckets=1024, use_flow_label=True)
+        a = _v6(0x11111, i=1)
+        b = make_udp("2001:db8::1", "2001:db8::ee", 7000, 53, flow_label=0x11111)
+        record_a = table.install(a)
+        record_b = table.install(b)
+        assert table.lookup(_v6(0x11111, i=1)) is record_a
+        again_b = make_udp("2001:db8::1", "2001:db8::ee", 7000, 53,
+                           flow_label=0x11111)
+        assert table.lookup(again_b) is record_b
+
+    def test_disabled_by_default(self):
+        table = FlowTable(gate_count=1, buckets=1024)
+        table.install(_v6(0x12345))
+        cycles = CycleMeter()
+        table.lookup(_v6(0x12345), cycles=cycles)
+        assert cycles.breakdown()["flow_hash"] == Costs.FLOW_HASH

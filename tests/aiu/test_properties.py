@@ -1,0 +1,220 @@
+"""Property-based tests on AIU invariants under randomized operation
+sequences — install/remove interleavings against the linear oracle, flow
+table accounting, and scheduler conservation laws."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aiu.dag import DagFilterTable
+from repro.aiu.filters import Filter
+from repro.aiu.flow_table import FlowTable
+from repro.aiu.linear import LinearFilterTable
+from repro.aiu.matchers import AmbiguousFilterError
+from repro.aiu.records import FilterRecord
+from repro.core.plugin import PluginContext
+from repro.net.packet import make_tcp, make_udp
+from repro.sched.drr import DrrPlugin
+from repro.workloads import random_filters, synthetic_flows
+
+# ---------------------------------------------------------------------------
+# DAG vs linear oracle under interleaved installs and removals.
+# ---------------------------------------------------------------------------
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["install", "remove", "lookup"]),
+        st.integers(0, 30),        # which filter / probe index
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops, seed=st.integers(0, 1000))
+def test_dag_matches_oracle_under_mutation(ops, seed):
+    pool = random_filters(31, seed=seed, host_fraction=0.5)
+    rng = random.Random(seed)
+    probes = [
+        make_udp(
+            f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(256)}",
+            f"20.{rng.randrange(256)}.0.1",
+            rng.randrange(1024, 65535),
+            rng.choice([53, 80, 443, 9000]),
+            iif=rng.choice(["atm0", "atm1"]),
+        )
+        for _ in range(31)
+    ]
+    dag = DagFilterTable(width=32)
+    linear = LinearFilterTable(width=32)
+    records = {}
+    for op, index in ops:
+        flt = pool[index % len(pool)]
+        if op == "install":
+            if index in records:
+                continue
+            record = FilterRecord(flt, gate="g")
+            try:
+                dag.install(record)
+            except AmbiguousFilterError:
+                continue
+            linear.install(record)
+            records[index] = record
+        elif op == "remove":
+            record = records.pop(index, None)
+            if record is not None:
+                assert dag.remove(record)
+                assert linear.remove(record)
+        else:
+            probe = probes[index % len(probes)]
+            dag_hit = dag.lookup(probe)
+            linear_hit = linear.lookup(probe)
+            if linear_hit is None:
+                assert dag_hit is None
+            else:
+                assert dag_hit is not None
+                assert dag_hit.sort_key() == linear_hit.sort_key()
+    # Final sweep: full agreement on every probe.
+    for probe in probes:
+        assert set(dag.lookup_all(probe)) == set(linear.lookup_all(probe))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), collapse=st.booleans())
+def test_collapse_optimization_is_semantically_invisible(seed, collapse):
+    """§5.1.2 node collapsing changes access counts, never results."""
+    filters = random_filters(24, seed=seed, host_fraction=0.4)
+    plain = DagFilterTable(width=32)
+    optimized = DagFilterTable(width=32, collapse_wildcards=True)
+    for flt in filters:
+        try:
+            plain.install(FilterRecord(flt, gate="g"))
+            optimized.install(FilterRecord(flt, gate="g"))
+        except AmbiguousFilterError:
+            continue
+    rng = random.Random(seed)
+    for _ in range(15):
+        probe = make_udp(
+            f"10.{rng.randrange(256)}.0.{rng.randrange(256)}",
+            f"20.{rng.randrange(256)}.0.1",
+            rng.randrange(65536),
+            rng.randrange(65536),
+        )
+        a = plain.lookup(probe)
+        b = optimized.lookup(probe)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.sort_key() == b.sort_key()
+
+
+# ---------------------------------------------------------------------------
+# Flow table invariants under random operation sequences.
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(st.tuples(st.sampled_from(["touch", "invalidate", "expire"]),
+                           st.integers(0, 19)), max_size=80),
+    cap=st.one_of(st.none(), st.integers(4, 32)),
+)
+def test_flow_table_invariants(ops, cap):
+    table = FlowTable(gate_count=2, buckets=64, initial_records=4, max_records=cap)
+    flows = synthetic_flows(20, seed=3)
+    live = {}
+    now = 0.0
+    for op, index in ops:
+        now += 1.0
+        packet = flows[index].packet()
+        if op == "touch":
+            record = table.lookup(packet, now=now)
+            if record is None:
+                record = table.install(packet, now=now)
+        elif op == "invalidate":
+            record = table.lookup(packet, now=now)
+            if record is not None:
+                table.invalidate(record)
+        else:
+            table.expire_idle(now, max_idle=10.0)
+        # Invariants:
+        assert len(table) == sum(1 for _ in table)          # LRU list consistent
+        if cap is not None:
+            assert table.allocated <= cap
+            assert len(table) <= cap
+        seen_keys = set()
+        for record in table:
+            key = (record.key.src, record.key.sport)
+            assert key not in seen_keys                     # no duplicate flows
+            seen_keys.add(key)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_flow_table_lru_order_is_recency_order(data):
+    table = FlowTable(gate_count=1, buckets=64, initial_records=4)
+    flows = synthetic_flows(8, seed=9)
+    touches = data.draw(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    now = 0.0
+    last_touch = {}
+    for index in touches:
+        now += 1.0
+        packet = flows[index].packet()
+        if table.lookup(packet, now=now) is None:
+            table.install(packet, now=now)
+        last_touch[index] = now
+    order = [record.last_used for record in table]
+    assert order == sorted(order, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler conservation properties.
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    arrivals=st.lists(st.tuples(st.integers(1, 6), st.integers(100, 1500)),
+                      min_size=1, max_size=120),
+    quantum=st.integers(300, 3000),
+)
+def test_drr_conservation(arrivals, quantum):
+    """Packets in == packets out + backlog + drops; work conservation."""
+    drr = DrrPlugin().create_instance(quantum=quantum, limit=16)
+    accepted = 0
+    for flow, size in arrivals:
+        pkt = make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53,
+                       payload_size=max(0, size - 28))
+        verdict = drr.process(pkt, PluginContext())
+        if verdict == "consumed":
+            accepted += 1
+    dequeued = 0
+    while True:
+        pkt = drr.dequeue(0.0)
+        if pkt is None:
+            break
+        dequeued += 1
+        assert dequeued <= accepted  # never invents packets
+    # Work conservation: a backlogged DRR always dequeues until empty.
+    assert dequeued == accepted
+    assert drr.backlog() == 0
+    assert drr.packets_queued == accepted
+    assert drr.packets_dropped == len(arrivals) - accepted
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 999))
+def test_drr_no_packet_reordering_within_flow(seed):
+    rng = random.Random(seed)
+    drr = DrrPlugin().create_instance(quantum=rng.choice([500, 1000, 1500]))
+    sent = {flow: [] for flow in range(1, 4)}
+    for _ in range(60):
+        flow = rng.randrange(1, 4)
+        pkt = make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53,
+                       payload_size=rng.randrange(0, 1200))
+        drr.process(pkt, PluginContext())
+        sent[flow].append(pkt.packet_id)
+    received = {flow: [] for flow in range(1, 4)}
+    while True:
+        pkt = drr.dequeue(0.0)
+        if pkt is None:
+            break
+        received[pkt.src_port - 5000].append(pkt.packet_id)
+    for flow in sent:
+        assert received[flow] == sent[flow]

@@ -1,0 +1,75 @@
+"""Property tests: BMP engines agree with the linear reference under
+randomized insert/remove interleavings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bmp import BinarySearchOnLengths, MultibitTrie, PatriciaTrie
+from repro.net.addresses import IPV4_WIDTH, Prefix
+from repro.net.routing import LinearLPM
+
+ENGINE_FACTORIES = [PatriciaTrie, BinarySearchOnLengths, MultibitTrie]
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "lookup"]),
+        st.integers(0, (1 << 32) - 1),
+        st.integers(0, 32),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+@pytest.mark.parametrize("factory", ENGINE_FACTORIES, ids=lambda f: f.__name__)
+def test_engine_matches_reference_under_mutation(factory, ops):
+    engine = factory(IPV4_WIDTH)
+    reference = LinearLPM()
+    counter = 0
+    for op, value, length in ops:
+        prefix = Prefix(value, length, IPV4_WIDTH)
+        if op == "insert":
+            counter += 1
+            engine.insert(prefix, counter)
+            reference.insert(prefix, counter)
+        elif op == "remove":
+            assert engine.remove(prefix) == reference.remove(prefix)
+        else:
+            expected = reference.lookup_prefix(value)
+            got = engine.lookup_entry(value)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got[0] == expected
+    # Final sweep over a few probes derived from the operations.
+    for _op, value, _length in ops[:10]:
+        expected = reference.lookup_prefix(value)
+        got = engine.lookup_entry(value)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None and got[0] == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    prefixes=st.lists(
+        st.tuples(st.integers(0, (1 << 32) - 1), st.integers(0, 32)),
+        min_size=1, max_size=30,
+    )
+)
+def test_engines_agree_pairwise(prefixes):
+    """All three engines return identical best prefixes."""
+    engines = [factory(IPV4_WIDTH) for factory in ENGINE_FACTORIES]
+    for i, (value, length) in enumerate(prefixes):
+        prefix = Prefix(value, length, IPV4_WIDTH)
+        for engine in engines:
+            engine.insert(prefix, i)
+    for value, _length in prefixes:
+        results = []
+        for engine in engines:
+            entry = engine.lookup_entry(value)
+            results.append(entry[0] if entry else None)
+        assert results[0] == results[1] == results[2]

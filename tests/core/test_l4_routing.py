@@ -1,0 +1,67 @@
+"""Tests for the L4-switching routing gate (§8 future work)."""
+
+import pytest
+
+from repro.core import Disposition, GATE_ROUTING, GATES_WITH_L4_ROUTING, Router
+from repro.core.routing_plugin import L4RoutingPlugin
+from repro.net.packet import make_tcp, make_udp
+
+
+@pytest.fixture
+def router():
+    r = Router(gates=GATES_WITH_L4_ROUTING, flow_buckets=256)
+    r.add_interface("atm0", prefix="10.0.0.0/8")
+    r.add_interface("atm1", prefix="20.0.0.0/8")
+    r.add_interface("atm2")
+    return r
+
+
+class TestL4Switching:
+    def test_flow_routed_by_port_not_just_destination(self, router):
+        """True L4 switching: two flows to the same destination leave on
+        different interfaces because the classifier sees the ports."""
+        plugin = L4RoutingPlugin()
+        router.pcu.load(plugin)
+        video_path = plugin.create_instance(action="forward", interface="atm2")
+        plugin.register_instance(
+            video_path, "*, 20.0.0.1, UDP, *, 4000", gate=GATE_ROUTING
+        )
+        web = make_tcp("10.0.0.1", "20.0.0.1", 5000, 80, iif="atm0")
+        video = make_udp("10.0.0.1", "20.0.0.1", 5000, 4000, iif="atm0")
+        assert router.receive(web) == Disposition.FORWARDED
+        assert router.receive(video) == Disposition.FORWARDED
+        assert router.interface("atm1").tx_packets == 1   # web: table route
+        assert router.interface("atm2").tx_packets == 1   # video: L4 route
+
+    def test_route_lookup_skipped_for_bound_flows(self, router):
+        plugin = L4RoutingPlugin()
+        router.pcu.load(plugin)
+        instance = plugin.create_instance(action="forward", interface="atm2")
+        plugin.register_instance(instance, "*, *, UDP", gate=GATE_ROUTING)
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 1, 2, iif="atm0")
+        meter = router.measure_packet(pkt)
+        # The stock route lookup was never charged: QoS routing for free.
+        assert "route_lookup" not in meter.breakdown()
+
+    def test_blackhole_action(self, router):
+        plugin = L4RoutingPlugin()
+        router.pcu.load(plugin)
+        hole = plugin.create_instance(action="blackhole")
+        plugin.register_instance(hole, "192.168.0.0/16, *", gate=GATE_ROUTING)
+        pkt = make_udp("192.168.1.1", "20.0.0.1", 1, 2, iif="atm0")
+        assert router.receive(pkt) == Disposition.DROPPED_NO_ROUTE
+        assert router.interface("atm1").tx_packets == 0
+
+    def test_unbound_flows_use_routing_table(self, router):
+        router.pcu.load(L4RoutingPlugin())
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 1, 2, iif="atm0")
+        assert router.receive(pkt) == Disposition.FORWARDED
+        assert router.interface("atm1").tx_packets == 1
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            L4RoutingPlugin().create_instance(action="teleport")
+
+    def test_forward_requires_interface(self):
+        with pytest.raises(ValueError):
+            L4RoutingPlugin().create_instance(action="forward")

@@ -1,0 +1,85 @@
+"""Tests for the message set and gate descriptors."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_GATES,
+    GATE_IP_OPTIONS,
+    GATE_IP_SECURITY,
+    GATE_PACKET_SCHEDULING,
+    GATE_ROUTING,
+    GATES_WITH_L4_ROUTING,
+    Message,
+    MSG_CREATE_INSTANCE,
+    MSG_DEREGISTER_INSTANCE,
+    MSG_FREE_INSTANCE,
+    MSG_REGISTER_INSTANCE,
+    STANDARD_MESSAGES,
+    TYPE_IP_OPTIONS,
+    TYPE_PACKET_SCHEDULING,
+    create_instance,
+    deregister_instance,
+    free_instance,
+    gate_specs,
+    register_instance,
+)
+
+
+class TestMessages:
+    def test_standard_message_set_is_the_papers_four(self):
+        assert set(STANDARD_MESSAGES) == {
+            MSG_CREATE_INSTANCE,
+            MSG_FREE_INSTANCE,
+            MSG_REGISTER_INSTANCE,
+            MSG_DEREGISTER_INSTANCE,
+        }
+
+    def test_is_standard(self):
+        assert Message(MSG_CREATE_INSTANCE).is_standard
+        assert not Message("custom_thing").is_standard
+
+    def test_create_instance_builder(self):
+        message = create_instance(interface="atm0", quantum=1500)
+        assert message.type == MSG_CREATE_INSTANCE
+        assert message.args == {"interface": "atm0", "quantum": 1500}
+
+    def test_free_instance_builder(self):
+        sentinel = object()
+        assert free_instance(sentinel).args["instance"] is sentinel
+
+    def test_register_instance_builder(self):
+        sentinel = object()
+        message = register_instance(sentinel, "10.*, *", gate="ip_security", priority=3)
+        assert message.args["filter"] == "10.*, *"
+        assert message.args["gate"] == "ip_security"
+        assert message.args["priority"] == 3
+
+    def test_deregister_instance_builder(self):
+        sentinel = object()
+        message = deregister_instance(sentinel)
+        assert message.type == MSG_DEREGISTER_INSTANCE
+        assert message.args["record"] is None
+
+
+class TestGates:
+    def test_default_gates_are_the_papers_three(self):
+        assert DEFAULT_GATES == (
+            GATE_IP_OPTIONS,
+            GATE_IP_SECURITY,
+            GATE_PACKET_SCHEDULING,
+        )
+
+    def test_l4_gate_list_adds_routing(self):
+        assert GATE_ROUTING in GATES_WITH_L4_ROUTING
+        assert set(DEFAULT_GATES) < set(GATES_WITH_L4_ROUTING)
+
+    def test_gate_specs_positions(self):
+        specs = gate_specs(DEFAULT_GATES)
+        assert [s.position for s in specs] == [0, 1, 2]
+        assert specs[0].plugin_type == TYPE_IP_OPTIONS
+        assert specs[2].plugin_type == TYPE_PACKET_SCHEDULING
+
+    def test_gate_specs_unknown_gate_gets_zero_type(self):
+        (spec,) = gate_specs(("custom_gate",))
+        assert spec.plugin_type == 0
+        assert str(spec) == "custom_gate"

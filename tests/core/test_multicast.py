@@ -1,0 +1,128 @@
+"""Tests for multicast forwarding."""
+
+import pytest
+
+from repro.core import Disposition, GATE_PACKET_SCHEDULING, Router
+from repro.core.multicast import MulticastTable
+from repro.net.addresses import IPAddress, Prefix
+from repro.net.packet import make_udp
+from repro.sched import DrrPlugin
+
+
+def _group_pkt(group="232.1.1.1", src="10.0.0.1", ttl=8, iif="up0"):
+    return make_udp(src, group, 5000, 9000, payload_size=100, ttl=ttl, iif=iif)
+
+
+class TestIsMulticast:
+    @pytest.mark.parametrize("addr,expected", [
+        ("224.0.0.1", True),
+        ("232.1.1.1", True),
+        ("239.255.255.255", True),
+        ("223.255.255.255", False),
+        ("240.0.0.0", False),
+        ("10.0.0.1", False),
+        ("ff02::1", True),
+        ("fe80::1", False),
+    ])
+    def test_classification(self, addr, expected):
+        assert IPAddress.parse(addr).is_multicast == expected
+
+
+class TestMulticastTable:
+    def test_star_g_entry(self):
+        table = MulticastTable()
+        table.add("232.1.1.1", ["a", "b"])
+        route = table.lookup(IPAddress.parse("9.9.9.9"), IPAddress.parse("232.1.1.1"))
+        assert route is not None
+        assert route.out_interfaces == ["a", "b"]
+
+    def test_s_g_more_specific_than_star_g(self):
+        table = MulticastTable()
+        table.add("232.1.1.1", ["default"])
+        table.add("232.1.1.1", ["special"], source="10.0.0.0/8")
+        inside = table.lookup(IPAddress.parse("10.1.1.1"), IPAddress.parse("232.1.1.1"))
+        outside = table.lookup(IPAddress.parse("9.9.9.9"), IPAddress.parse("232.1.1.1"))
+        assert inside.out_interfaces == ["special"]
+        assert outside.out_interfaces == ["default"]
+
+    def test_non_multicast_group_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTable().add("10.0.0.1", ["a"])
+
+    def test_remove(self):
+        table = MulticastTable()
+        route = table.add("232.1.1.1", ["a"])
+        assert table.remove(route)
+        assert not table.remove(route)
+        assert len(table) == 0
+
+    def test_unknown_group(self):
+        table = MulticastTable()
+        assert table.lookup(IPAddress.parse("1.1.1.1"),
+                            IPAddress.parse("232.9.9.9")) is None
+
+
+class TestRouterMulticast:
+    @pytest.fixture
+    def router(self):
+        r = Router(flow_buckets=64)
+        r.add_interface("up0", prefix="10.0.0.0/8")
+        r.add_interface("down1")
+        r.add_interface("down2")
+        return r
+
+    def test_replicates_to_all_downstream(self, router):
+        router.multicast_table.add("232.1.1.1", ["down1", "down2"])
+        assert router.receive(_group_pkt()) == Disposition.FORWARDED
+        assert router.interface("down1").tx_packets == 1
+        assert router.interface("down2").tx_packets == 1
+        assert router.counters["multicast_replicated"] == 2
+
+    def test_never_echoes_to_arrival_interface(self, router):
+        router.multicast_table.add("232.1.1.1", ["up0", "down1"])
+        router.receive(_group_pkt(iif="up0"))
+        assert router.interface("up0").tx_packets == 0
+        assert router.interface("down1").tx_packets == 1
+
+    def test_no_group_state_drops(self, router):
+        assert router.receive(_group_pkt()) == Disposition.DROPPED_NO_ROUTE
+
+    def test_rpf_check(self, router):
+        router.multicast_table.add("232.1.1.1", ["down1"], expected_iif="up0")
+        assert router.receive(_group_pkt(iif="down2")) == Disposition.DROPPED_NO_ROUTE
+        assert router.counters["multicast_rpf_drops"] == 1
+        assert router.receive(_group_pkt(iif="up0")) == Disposition.FORWARDED
+
+    def test_ttl_decremented_per_copy(self, router):
+        from repro.net.interfaces import NetworkInterface
+
+        sink = NetworkInterface("listener")
+        router.interface("down1").connect(sink)
+        router.multicast_table.add("232.1.1.1", ["down1"])
+        router.receive(_group_pkt(ttl=5))
+        (copy,) = sink.poll()
+        assert copy.ttl == 4
+
+    def test_ttl_expiry(self, router):
+        router.multicast_table.add("232.1.1.1", ["down1"])
+        assert router.receive(_group_pkt(ttl=1)) == Disposition.DROPPED_TTL
+
+    def test_copies_go_through_scheduling(self, router):
+        plugin = DrrPlugin()
+        router.pcu.load(plugin)
+        drr = plugin.create_instance(interface="down1")
+        plugin.register_instance(drr, "*, *, UDP", gate=GATE_PACKET_SCHEDULING)
+        router.set_scheduler("down1", drr)
+        router.multicast_table.add("232.1.1.1", ["down1", "down2"])
+        router.receive(_group_pkt())
+        # Each replicated copy runs the scheduling gate independently;
+        # the catch-all binding sends both branches through DRR.
+        assert drr.packets_sent == 2
+        assert router.interface("down1").tx_packets == 1
+        assert router.interface("down2").tx_packets == 1
+
+    def test_v6_multicast(self, router):
+        router.routing_table.add("2001:db8::/32", "down1")
+        router.multicast_table.add("ff3e::1", ["down1"])
+        pkt = make_udp("2001:db8::1", "ff3e::1", 1, 2, ttl=4, iif="up0")
+        assert router.receive(pkt) == Disposition.FORWARDED

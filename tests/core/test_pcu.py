@@ -1,0 +1,136 @@
+"""Tests for the Plugin Control Unit."""
+
+import pytest
+
+from repro.aiu import AIU
+from repro.core import (
+    Message,
+    Plugin,
+    PluginControlUnit,
+    TYPE_IP_SECURITY,
+    TYPE_PACKET_SCHEDULING,
+    UnknownPluginError,
+    plugin_id_of,
+    plugin_type_of,
+    register_instance,
+)
+from repro.core.errors import PluginError
+
+
+class _Sched(Plugin):
+    plugin_type = TYPE_PACKET_SCHEDULING
+    name = "drr-test"
+
+
+class _Sched2(Plugin):
+    plugin_type = TYPE_PACKET_SCHEDULING
+    name = "hfsc-test"
+
+
+class _Sec(Plugin):
+    plugin_type = TYPE_IP_SECURITY
+    name = "ah-test"
+
+
+class TestLoading:
+    def test_load_assigns_code_by_type(self):
+        pcu = PluginControlUnit()
+        code = pcu.load(_Sched())
+        assert plugin_type_of(code) == TYPE_PACKET_SCHEDULING
+        assert plugin_id_of(code) == 1
+
+    def test_ids_increment_within_type(self):
+        pcu = PluginControlUnit()
+        first = pcu.load(_Sched())
+        second = pcu.load(_Sched2())
+        other_type = pcu.load(_Sec())
+        assert plugin_id_of(first) == 1
+        assert plugin_id_of(second) == 2
+        assert plugin_id_of(other_type) == 1
+
+    def test_double_load_rejected(self):
+        pcu = PluginControlUnit()
+        pcu.load(_Sched())
+        with pytest.raises(PluginError):
+            pcu.load(_Sched())
+
+    def test_plugin_without_type_rejected(self):
+        class Bad(Plugin):
+            name = "bad"
+
+        with pytest.raises(PluginError):
+            PluginControlUnit().load(Bad())
+
+    def test_unload(self):
+        pcu = PluginControlUnit()
+        plugin = _Sched()
+        pcu.load(plugin)
+        pcu.unload("drr-test")
+        assert not pcu.is_loaded("drr-test")
+        assert plugin.pcu is None
+
+    def test_len_and_listing(self):
+        pcu = PluginControlUnit()
+        pcu.load(_Sched())
+        pcu.load(_Sec())
+        assert len(pcu) == 2
+        assert len(pcu.plugins(TYPE_PACKET_SCHEDULING)) == 1
+
+
+class TestResolution:
+    def test_resolve_by_name_code_identity(self):
+        pcu = PluginControlUnit()
+        plugin = _Sched()
+        code = pcu.load(plugin)
+        assert pcu.get("drr-test") is plugin
+        assert pcu.get(code) is plugin
+        assert pcu.get(plugin) is plugin
+
+    @pytest.mark.parametrize("target", ["missing", 0x00030099])
+    def test_unknown_targets(self, target):
+        with pytest.raises(UnknownPluginError):
+            PluginControlUnit().get(target)
+
+    def test_unloaded_identity_rejected(self):
+        with pytest.raises(UnknownPluginError):
+            PluginControlUnit().get(_Sched())
+
+
+class TestMessaging:
+    def test_send_reaches_callback(self):
+        pcu = PluginControlUnit()
+        seen = []
+
+        class Probe(Plugin):
+            plugin_type = TYPE_PACKET_SCHEDULING
+            name = "probe"
+
+            def handle_custom(self, message):
+                seen.append(message.type)
+                return "ok"
+
+        pcu.load(Probe())
+        assert pcu.send("probe", Message("hello")) == "ok"
+        assert seen == ["hello"]
+
+    def test_register_instance_through_aiu(self):
+        aiu = AIU(("packet_scheduling",), flow_buckets=64)
+        pcu = PluginControlUnit(aiu=aiu)
+        plugin = _Sched()
+        pcu.load(plugin)
+        instance = plugin.create_instance()
+        record = pcu.send(
+            "drr-test", register_instance(instance, "10.*, *, UDP")
+        )
+        assert record.instance is instance
+        assert aiu.filter_count("packet_scheduling") == 1
+
+    def test_unload_removes_aiu_bindings(self):
+        aiu = AIU(("packet_scheduling",), flow_buckets=64)
+        pcu = PluginControlUnit(aiu=aiu)
+        plugin = _Sched()
+        pcu.load(plugin)
+        instance = plugin.create_instance()
+        plugin.register_instance(instance, "10.*, *, UDP")
+        pcu.unload(plugin)
+        assert aiu.filter_count("packet_scheduling") == 0

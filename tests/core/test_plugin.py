@@ -1,0 +1,120 @@
+"""Tests for plugin codes, base classes, and the message callback."""
+
+import pytest
+
+from repro.core import (
+    Message,
+    Plugin,
+    PluginControlUnit,
+    PluginInstance,
+    TYPE_IP_SECURITY,
+    TYPE_PACKET_SCHEDULING,
+    UnknownMessageError,
+    Verdict,
+    create_instance,
+    free_instance,
+    plugin_code,
+    plugin_id_of,
+    plugin_type_of,
+)
+from repro.core.errors import InstanceError
+from repro.core.plugin import PluginContext
+
+
+class TestPluginCodes:
+    def test_compose_and_split(self):
+        code = plugin_code(TYPE_IP_SECURITY, 7)
+        assert plugin_type_of(code) == TYPE_IP_SECURITY
+        assert plugin_id_of(code) == 7
+
+    def test_upper_16_bits_are_type(self):
+        # §4: "The upper 16 bits of the code identify the plugin type."
+        assert plugin_code(3, 1) == (3 << 16) | 1
+
+    @pytest.mark.parametrize("bad_type,bad_id", [(-1, 0), (0x10000, 0), (0, -1), (0, 0x10000)])
+    def test_range_checked(self, bad_type, bad_id):
+        with pytest.raises(ValueError):
+            plugin_code(bad_type, bad_id)
+
+
+class _SchedPlugin(Plugin):
+    plugin_type = TYPE_PACKET_SCHEDULING
+    name = "testsched"
+
+    def handle_custom(self, message):
+        if message.type == "ping":
+            return "pong"
+        return super().handle_custom(message)
+
+
+class TestPluginLifecycle:
+    def test_create_instance_tracks_instances(self):
+        plugin = _SchedPlugin()
+        instance = plugin.create_instance(interface="atm0")
+        assert instance in plugin.instances
+        assert instance.config["interface"] == "atm0"
+
+    def test_instance_names_unique_by_default(self):
+        plugin = _SchedPlugin()
+        a, b = plugin.create_instance(), plugin.create_instance()
+        assert a.name != b.name
+
+    def test_free_instance(self):
+        plugin = _SchedPlugin()
+        instance = plugin.create_instance()
+        plugin.free_instance(instance)
+        assert instance not in plugin.instances
+
+    def test_free_unknown_instance_rejected(self):
+        plugin = _SchedPlugin()
+        other = PluginInstance(_SchedPlugin())
+        with pytest.raises(InstanceError):
+            plugin.free_instance(other)
+
+    def test_default_process_continues(self):
+        plugin = _SchedPlugin()
+        instance = plugin.create_instance()
+        assert instance.process(object(), PluginContext()) == Verdict.CONTINUE
+        assert instance.packets_processed == 1
+
+
+class TestCallbackDispatch:
+    def test_create_via_message(self):
+        plugin = _SchedPlugin()
+        instance = plugin.callback(create_instance(interface="atm1"))
+        assert instance.config["interface"] == "atm1"
+
+    def test_free_via_message(self):
+        plugin = _SchedPlugin()
+        instance = plugin.create_instance()
+        plugin.callback(free_instance(instance))
+        assert plugin.instances == []
+
+    def test_custom_message(self):
+        plugin = _SchedPlugin()
+        assert plugin.callback(Message("ping")) == "pong"
+
+    def test_unknown_custom_message(self):
+        plugin = _SchedPlugin()
+        with pytest.raises(UnknownMessageError):
+            plugin.callback(Message("bogus"))
+
+    def test_register_requires_pcu(self):
+        plugin = _SchedPlugin()
+        instance = plugin.create_instance()
+        with pytest.raises(InstanceError):
+            plugin.register_instance(instance, "*")
+
+    def test_default_gate_follows_type(self):
+        assert _SchedPlugin().default_gate() == "packet_scheduling"
+
+
+class TestDetach:
+    def test_detach_frees_instances(self):
+        pcu = PluginControlUnit()
+        plugin = _SchedPlugin()
+        pcu.load(plugin)
+        plugin.create_instance()
+        plugin.detach()
+        assert plugin.instances == []
+        assert plugin.code is None

@@ -1,0 +1,83 @@
+"""Tests for the per-packet data-path tracer."""
+
+import pytest
+
+from repro.core import GATE_IP_SECURITY, Router
+from repro.core.tracing import Tracer
+from repro.net.packet import make_udp
+from repro.security import FirewallPlugin
+
+
+@pytest.fixture
+def traced_router():
+    router = Router(flow_buckets=64)
+    router.add_interface("atm0", prefix="10.0.0.0/8")
+    router.add_interface("atm1", prefix="20.0.0.0/8")
+    router.tracer = Tracer()
+    return router
+
+
+def _pkt(i=1, **kw):
+    kw.setdefault("iif", "atm0")
+    return make_udp(f"10.0.0.{i}", "20.0.0.1", 5000 + i, 53, **kw)
+
+
+class TestTracer:
+    def test_forwarded_packet_walk(self, traced_router):
+        pkt = _pkt()
+        traced_router.receive(pkt)
+        text = traced_router.tracer.render(pkt)
+        assert "arrived on atm0" in text
+        assert "gate ip_options" in text
+        assert "route" in text and "atm1" in text
+        assert "done: forwarded" in text
+
+    def test_plugin_verdict_recorded(self, traced_router):
+        firewall = FirewallPlugin()
+        traced_router.pcu.load(firewall)
+        deny = firewall.create_instance(action="deny", name="blocker")
+        firewall.register_instance(deny, "10.*, *", gate=GATE_IP_SECURITY)
+        pkt = _pkt()
+        traced_router.receive(pkt)
+        text = traced_router.tracer.render(pkt)
+        assert "blocker -> drop" in text
+        assert "done: dropped_by_plugin" in text
+
+    def test_no_route_recorded(self, traced_router):
+        pkt = make_udp("10.0.0.1", "99.0.0.1", 1, 2, iif="atm0")
+        traced_router.receive(pkt)
+        text = traced_router.tracer.render(pkt)
+        assert "no route" in text
+        assert "dropped_no_route" in text
+
+    def test_untraced_packet(self, traced_router):
+        pkt = _pkt()
+        assert "no trace" in traced_router.tracer.render(pkt)
+
+    def test_capacity_bounded(self):
+        router = Router(flow_buckets=64)
+        router.add_interface("atm0", prefix="10.0.0.0/8")
+        router.add_interface("atm1", prefix="20.0.0.0/8")
+        router.tracer = Tracer(capacity=5)
+        packets = [_pkt(i % 200 + 1) for i in range(20)]
+        for pkt in packets:
+            router.receive(pkt)
+        assert len(router.tracer) == 5
+        assert router.tracer.trace_for(packets[0]) is None
+        assert router.tracer.trace_for(packets[-1]) is not None
+
+    def test_last(self, traced_router):
+        first, second = _pkt(1), _pkt(2)
+        traced_router.receive(first)
+        traced_router.receive(second)
+        assert traced_router.tracer.last().packet_id == second.packet_id
+
+    def test_disabled_by_default(self):
+        router = Router(flow_buckets=64)
+        assert router.tracer is None
+
+    def test_gate_without_instance_traced(self, traced_router):
+        pkt = _pkt()
+        traced_router.receive(pkt)
+        text = traced_router.tracer.render(pkt)
+        assert "(no instance bound)" in text

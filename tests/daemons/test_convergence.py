@@ -1,0 +1,85 @@
+"""Distance-vector dynamics: link failure, count-to-infinity bounding,
+and re-convergence."""
+
+import pytest
+
+from repro.daemons import RouteDaemon, Topology
+from repro.daemons.routed import INFINITY_METRIC
+
+
+def _square():
+    """a - b - c in a line plus a stub on c."""
+    topo = Topology()
+    for name in "abc":
+        topo.add_router(name, flow_buckets=64)
+    topo.link("a", "ab0", "192.168.1.1", "b", "ba0", "192.168.1.2", "192.168.1.0/24")
+    topo.link("b", "bc0", "192.168.2.1", "c", "cb0", "192.168.2.2", "192.168.2.0/24")
+    topo.stub("c", "lan0", "10.3.0.254", "10.3.0.0/16")
+    daemons = {
+        name: RouteDaemon(topo.routers[name], topo.neighbors_of(name),
+                          expire_after=90.0)
+        for name in "abc"
+    }
+    return topo, daemons
+
+
+def _rounds(topo, daemons, count, start=0.0, step=30.0):
+    now = start
+    for _ in range(count):
+        for daemon in daemons.values():
+            daemon.advertise(now=now)
+        topo.run()
+        now += step
+    return now
+
+
+class TestConvergence:
+    def test_initial_convergence(self):
+        topo, daemons = _square()
+        _rounds(topo, daemons, 3)
+        assert topo.routers["a"].routing_table.lookup("10.3.0.1").metric == 3
+
+    def test_route_withdrawn_after_link_failure(self):
+        topo, daemons = _square()
+        now = _rounds(topo, daemons, 3)
+        # Sever c from the world: c stops advertising, b's learned route
+        # ages out, and a's in turn.
+        dead = {"a": daemons["a"], "b": daemons["b"]}
+        for round_index in range(8):
+            for daemon in dead.values():
+                daemon.advertise(now=now)
+                daemon.expire(now=now)
+            topo.run()
+            now += 30.0
+        assert topo.routers["b"].routing_table.lookup("10.3.0.1") is None
+        assert topo.routers["a"].routing_table.lookup("10.3.0.1") is None
+
+    def test_metric_never_exceeds_infinity(self):
+        topo, daemons = _square()
+        _rounds(topo, daemons, 6)
+        for router in topo.routers.values():
+            for route in router.routing_table.routes():
+                assert route.metric <= INFINITY_METRIC
+
+    def test_reconvergence_after_restoration(self):
+        topo, daemons = _square()
+        now = _rounds(topo, daemons, 3)
+        # Age out c's routes at b and a.
+        for daemon in (daemons["a"], daemons["b"]):
+            daemon.expire(now=now + 200.0)
+        assert topo.routers["a"].routing_table.lookup("10.3.0.1") is None
+        # c comes back: a few rounds restore the route.
+        now += 200.0
+        _rounds(topo, daemons, 3, start=now)
+        assert topo.routers["a"].routing_table.lookup("10.3.0.1") is not None
+
+    def test_split_horizon_prevents_two_node_loop(self):
+        """b must not advertise c's prefix back toward c."""
+        topo, daemons = _square()
+        _rounds(topo, daemons, 3)
+        vector_to_c = daemons["b"]._vector_for("bc0")
+        prefixes = {entry["prefix"] for entry in vector_to_c}
+        assert "10.3.0.0/16" not in prefixes
+        # But it does advertise it toward a.
+        vector_to_a = daemons["b"]._vector_for("ba0")
+        assert "10.3.0.0/16" in {e["prefix"] for e in vector_to_a}

@@ -1,0 +1,213 @@
+"""Tests for the SSP, RSVP-lite, and routed daemons on a 3-router chain."""
+
+import pytest
+
+from repro.daemons import RouteDaemon, RSVPDaemon, SSPDaemon, SSPError, Topology
+from repro.net.packet import make_udp
+from repro.sched import DrrPlugin
+
+
+def _chain(with_schedulers=True):
+    """A - B - C chain with stub LANs on A and C and static routes."""
+    topo = Topology()
+    for name in "abc":
+        topo.add_router(name, flow_buckets=256)
+    topo.link("a", "ab0", "192.168.1.1", "b", "ba0", "192.168.1.2", "192.168.1.0/24")
+    topo.link("b", "bc0", "192.168.2.1", "c", "cb0", "192.168.2.2", "192.168.2.0/24")
+    topo.stub("a", "lan0", "10.1.0.254", "10.1.0.0/16")
+    topo.stub("c", "lan0", "10.3.0.254", "10.3.0.0/16")
+    # Static routes toward the remote stubs (replaced by routed in the
+    # routing-daemon tests).
+    topo.routers["a"].routing_table.add("10.3.0.0/16", "ab0", next_hop="192.168.1.2")
+    topo.routers["b"].routing_table.add("10.3.0.0/16", "bc0", next_hop="192.168.2.2")
+    topo.routers["b"].routing_table.add("10.1.0.0/16", "ba0", next_hop="192.168.1.1")
+    topo.routers["c"].routing_table.add("10.1.0.0/16", "cb0", next_hop="192.168.2.1")
+    schedulers = {}
+    if with_schedulers:
+        plugin = DrrPlugin()
+        for name, iface in [("a", "ab0"), ("b", "bc0"), ("c", "lan0"),
+                            ("c", "cb0"), ("b", "ba0"), ("a", "lan0")]:
+            instance = plugin.create_instance(name=f"drr-{name}-{iface}", interface=iface)
+            topo.routers[name].set_scheduler(iface, instance)
+            schedulers[(name, iface)] = instance
+    return topo, schedulers
+
+
+FLOWSPEC = "10.1.0.5, 10.3.0.9, UDP, 4000, 5000"
+
+
+class TestSSP:
+    def test_setup_installs_reservations_along_path(self):
+        topo, schedulers = _chain()
+        daemons = {
+            name: SSPDaemon(topo.routers[name], topo.neighbors_of(name))
+            for name in "abc"
+        }
+        daemons["a"].request("flow1", FLOWSPEC, rate_bps=1_000_000, dst="10.3.0.9")
+        topo.run()
+        for name in "abc":
+            assert "flow1" in daemons[name].reservations, f"router {name}"
+        # The reserved weight landed on the right scheduler.
+        record = daemons["b"].reservations["flow1"].filter_record
+        assert schedulers[("b", "bc0")].weight_for(record) == 1.0
+
+    def test_data_packets_hit_reserved_binding(self):
+        topo, schedulers = _chain()
+        daemons = {
+            name: SSPDaemon(topo.routers[name], topo.neighbors_of(name))
+            for name in "abc"
+        }
+        daemons["a"].request("flow1", FLOWSPEC, rate_bps=1_000_000, dst="10.3.0.9")
+        topo.run()
+        pkt = make_udp("10.1.0.5", "10.3.0.9", 4000, 5000, iif="lan0")
+        topo.routers["a"].receive(pkt, now=topo.loop.now)
+        topo.run()
+        # The flow got queued through the reserved DRR instances at every
+        # hop and reached C's LAN.
+        assert topo.routers["c"].interface("lan0").tx_packets == 1
+        queue = schedulers[("a", "ab0")]
+        assert queue.packets_sent >= 1
+
+    def test_teardown_removes_state_along_path(self):
+        topo, _ = _chain()
+        daemons = {
+            name: SSPDaemon(topo.routers[name], topo.neighbors_of(name))
+            for name in "abc"
+        }
+        daemons["a"].request("flow1", FLOWSPEC, rate_bps=1_000_000, dst="10.3.0.9")
+        topo.run()
+        daemons["a"].teardown("flow1", now=topo.loop.now)
+        topo.run()
+        for name in "abc":
+            assert daemons[name].reservations == {}
+            assert topo.routers[name].aiu.filter_count("packet_scheduling") == 0
+
+    def test_soft_state_expiry_without_refresh(self):
+        topo, _ = _chain()
+        daemon_b = SSPDaemon(topo.routers["b"], topo.neighbors_of("b"), timeout=10.0)
+        daemons = {
+            "a": SSPDaemon(topo.routers["a"], topo.neighbors_of("a")),
+            "c": SSPDaemon(topo.routers["c"], topo.neighbors_of("c")),
+        }
+        daemons["a"].request("flow1", FLOWSPEC, rate_bps=1e6, dst="10.3.0.9")
+        topo.run()
+        assert daemon_b.expire(now=5.0) == 0
+        assert daemon_b.expire(now=11.0) == 1
+        assert "flow1" not in daemon_b.reservations
+
+    def test_refresh_keeps_state_alive(self):
+        topo, _ = _chain()
+        daemons = {
+            name: SSPDaemon(topo.routers[name], topo.neighbors_of(name), timeout=10.0)
+            for name in "abc"
+        }
+        daemons["a"].request("flow1", FLOWSPEC, rate_bps=1e6, dst="10.3.0.9")
+        topo.run()
+        daemons["a"].refresh("flow1", now=8.0)
+        topo.run()
+        assert daemons["b"].expire(now=12.0) == 0
+
+    def test_missing_scheduler_raises(self):
+        topo, _ = _chain(with_schedulers=False)
+        daemon = SSPDaemon(topo.routers["a"], topo.neighbors_of("a"))
+        with pytest.raises(SSPError):
+            daemon.request("flow1", FLOWSPEC, rate_bps=1e6, dst="10.3.0.9")
+
+
+class TestRSVP:
+    def test_path_then_resv_installs_upstream(self):
+        topo, schedulers = _chain()
+        daemons = {
+            name: RSVPDaemon(topo.routers[name], topo.neighbors_of(name))
+            for name in "abc"
+        }
+        daemons["a"].send_path("sess1", sender="10.1.0.5", dst="10.3.0.9")
+        topo.run()
+        for name in "abc":
+            assert "sess1" in daemons[name].path_state, f"router {name}"
+        # Receiver-side reservation travels upstream.
+        daemons["c"].send_resv("sess1", FLOWSPEC, rate_bps=2_000_000, now=topo.loop.now)
+        topo.run()
+        for name in "abc":
+            assert "sess1" in daemons[name].resv_state, f"router {name}"
+
+    def test_resv_without_path_raises(self):
+        topo, _ = _chain()
+        daemon = RSVPDaemon(topo.routers["c"], topo.neighbors_of("c"))
+        from repro.daemons import RSVPError
+
+        with pytest.raises(RSVPError):
+            daemon.send_resv("ghost", FLOWSPEC, rate_bps=1e6)
+
+    def test_sweep_expires_stale_state(self):
+        topo, _ = _chain()
+        daemons = {
+            name: RSVPDaemon(topo.routers[name], topo.neighbors_of(name), hold_time=30.0)
+            for name in "abc"
+        }
+        daemons["a"].send_path("sess1", sender="10.1.0.5", dst="10.3.0.9")
+        topo.run()
+        daemons["c"].send_resv("sess1", FLOWSPEC, rate_bps=1e6, now=topo.loop.now)
+        topo.run()
+        assert daemons["b"].sweep(now=10.0) == 0
+        removed = daemons["b"].sweep(now=100.0)
+        assert removed == 2  # path + resv
+        assert daemons["b"].resv_state == {}
+        assert topo.routers["b"].aiu.filter_count("packet_scheduling") == 0
+
+
+class TestRouted:
+    def test_routes_propagate_across_chain(self):
+        topo, _ = _chain(with_schedulers=False)
+        # Drop the static routes; routed must discover them.
+        for name, prefix in [("a", "10.3.0.0/16"), ("b", "10.3.0.0/16"),
+                             ("b", "10.1.0.0/16"), ("c", "10.1.0.0/16")]:
+            topo.routers[name].routing_table.remove(prefix)
+        daemons = {
+            name: RouteDaemon(topo.routers[name], topo.neighbors_of(name))
+            for name in "abc"
+        }
+        for _round in range(3):
+            for daemon in daemons.values():
+                daemon.advertise(now=topo.loop.now)
+            topo.run()
+        route = topo.routers["a"].routing_table.lookup("10.3.0.1")
+        assert route is not None
+        assert route.interface == "ab0"
+        assert route.metric == 3  # connected(1) + two hops
+
+    def test_split_horizon(self):
+        topo, _ = _chain(with_schedulers=False)
+        daemon_a = RouteDaemon(topo.routers["a"], topo.neighbors_of("a"))
+        vector = daemon_a._vector_for("ab0")
+        prefixes = {entry["prefix"] for entry in vector}
+        assert "10.1.0.0/16" in prefixes
+
+    def test_learned_routes_expire(self):
+        topo, _ = _chain(with_schedulers=False)
+        topo.routers["a"].routing_table.remove("10.3.0.0/16")
+        daemons = {
+            name: RouteDaemon(topo.routers[name], topo.neighbors_of(name),
+                              expire_after=60.0)
+            for name in "abc"
+        }
+        for _ in range(3):
+            for daemon in daemons.values():
+                daemon.advertise(now=0.0)
+            topo.run()
+        assert topo.routers["a"].routing_table.lookup("10.3.0.1") is not None
+        assert daemons["a"].expire(now=120.0) >= 1
+        assert topo.routers["a"].routing_table.lookup("10.3.0.1") is None
+
+    def test_periodic_start_on_loop(self):
+        topo, _ = _chain(with_schedulers=False)
+        topo.routers["a"].routing_table.remove("10.3.0.0/16")
+        daemons = {
+            name: RouteDaemon(topo.routers[name], topo.neighbors_of(name), period=30.0)
+            for name in "abc"
+        }
+        for i, daemon in enumerate(daemons.values()):
+            daemon.start(topo.loop, jitter=0.1 * i)
+        topo.run(until=100.0)
+        assert topo.routers["a"].routing_table.lookup("10.3.0.1") is not None
+        assert all(d.updates_sent >= 3 for d in daemons.values())

@@ -1,0 +1,103 @@
+"""Tests for the IGMP-lite membership daemon."""
+
+import json
+
+import pytest
+
+from repro.core import Disposition, Router
+from repro.daemons import IGMPDaemon, PROTO_IGMP
+from repro.net.addresses import IPAddress
+from repro.net.packet import Packet, make_udp
+
+
+@pytest.fixture
+def rig():
+    router = Router(flow_buckets=64)
+    router.add_interface("up0", address="10.0.0.254", prefix="10.0.0.0/8")
+    router.add_interface("down1", address="10.1.0.254")
+    router.add_interface("down2", address="10.2.0.254")
+    daemon = IGMPDaemon(router)
+    return router, daemon
+
+
+def _report(op, group, src, iif):
+    return Packet(
+        src=IPAddress.parse(src),
+        dst=IPAddress.parse("10.1.0.254"),
+        protocol=PROTO_IGMP,
+        payload=json.dumps({"op": op, "group": group}).encode(),
+        iif=iif,
+    )
+
+
+class TestMembership:
+    def test_join_installs_multicast_route(self, rig):
+        router, daemon = rig
+        assert router.receive(_report("join", "232.1.1.1", "10.1.0.5", "down1")) \
+            == Disposition.LOCAL
+        assert daemon.interfaces_for("232.1.1.1") == ["down1"]
+
+    def test_join_from_two_interfaces(self, rig):
+        router, daemon = rig
+        router.receive(_report("join", "232.1.1.1", "10.1.0.5", "down1"))
+        router.receive(_report("join", "232.1.1.1", "10.2.0.7", "down2"))
+        assert daemon.interfaces_for("232.1.1.1") == ["down1", "down2"]
+
+    def test_traffic_flows_after_join(self, rig):
+        router, daemon = rig
+        router.receive(_report("join", "232.1.1.1", "10.1.0.5", "down1"))
+        pkt = make_udp("10.0.0.1", "232.1.1.1", 5000, 9000, ttl=8, iif="up0")
+        assert router.receive(pkt) == Disposition.FORWARDED
+        assert router.interface("down1").tx_packets == 1
+        assert router.interface("down2").tx_packets == 0
+
+    def test_leave_removes_interface(self, rig):
+        router, daemon = rig
+        router.receive(_report("join", "232.1.1.1", "10.1.0.5", "down1"))
+        router.receive(_report("leave", "232.1.1.1", "10.1.0.5", "down1"))
+        assert daemon.interfaces_for("232.1.1.1") == []
+        pkt = make_udp("10.0.0.1", "232.1.1.1", 5000, 9000, ttl=8, iif="up0")
+        assert router.receive(pkt) == Disposition.DROPPED_NO_ROUTE
+
+    def test_leave_waits_for_all_reporters(self, rig):
+        router, daemon = rig
+        router.receive(_report("join", "232.1.1.1", "10.1.0.5", "down1"))
+        router.receive(_report("join", "232.1.1.1", "10.1.0.6", "down1"))
+        router.receive(_report("leave", "232.1.1.1", "10.1.0.5", "down1"))
+        assert daemon.interfaces_for("232.1.1.1") == ["down1"]
+        router.receive(_report("leave", "232.1.1.1", "10.1.0.6", "down1"))
+        assert daemon.interfaces_for("232.1.1.1") == []
+
+    def test_expiry_ages_out_silent_segments(self, rig):
+        router, daemon = rig
+        daemon.join("232.1.1.1", "down1", reporter="h1", now=0.0)
+        daemon.join("232.1.1.1", "down2", reporter="h2", now=200.0)
+        assert daemon.expire(now=300.0) == 1    # down1 silent too long
+        assert daemon.interfaces_for("232.1.1.1") == ["down2"]
+
+    def test_rejoin_refreshes(self, rig):
+        router, daemon = rig
+        daemon.join("232.1.1.1", "down1", reporter="h1", now=0.0)
+        daemon.join("232.1.1.1", "down1", reporter="h1", now=250.0)
+        assert daemon.expire(now=300.0) == 0
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("payload", [
+        b"junk",
+        json.dumps({"op": "join"}).encode(),                 # no group
+        json.dumps({"op": "join", "group": "10.0.0.1"}).encode(),  # unicast
+        json.dumps({"op": "dance", "group": "232.1.1.1"}).encode(),
+    ])
+    def test_garbage_counted_not_fatal(self, rig, payload):
+        router, daemon = rig
+        pkt = Packet(
+            src=IPAddress.parse("10.1.0.5"),
+            dst=IPAddress.parse("10.1.0.254"),
+            protocol=PROTO_IGMP,
+            payload=payload,
+            iif="down1",
+        )
+        router.receive(pkt)
+        assert daemon.malformed == 1
+        assert len(daemon) == 0

@@ -1,0 +1,55 @@
+"""Tests for the multi-router topology builder."""
+
+import pytest
+
+from repro.daemons import Topology
+from repro.net.packet import make_udp
+
+
+class TestTopology:
+    def test_add_router_and_duplicate_rejected(self):
+        topo = Topology()
+        topo.add_router("a")
+        with pytest.raises(ValueError):
+            topo.add_router("a")
+
+    def test_link_wires_interfaces_and_neighbors(self):
+        topo = Topology()
+        topo.add_router("a")
+        topo.add_router("b")
+        topo.link("a", "a0", "192.168.0.1", "b", "b0", "192.168.0.2", "192.168.0.0/24")
+        assert str(topo.neighbors_of("a")["a0"]) == "192.168.0.2"
+        assert str(topo.neighbors_of("b")["b0"]) == "192.168.0.1"
+        assert topo.neighbor_names["a"]["a0"] == "b"
+        # Connected routes installed on both sides.
+        assert topo.routers["a"].routing_table.lookup("192.168.0.9").interface == "a0"
+
+    def test_packets_cross_the_link(self):
+        topo = Topology()
+        topo.add_router("a")
+        topo.add_router("b")
+        topo.link("a", "a0", "192.168.0.1", "b", "b0", "192.168.0.2", "192.168.0.0/24")
+        topo.stub("b", "lan0", "10.2.0.254", "10.2.0.0/16")
+        topo.routers["a"].routing_table.add("10.2.0.0/16", "a0", next_hop="192.168.0.2")
+        pkt = make_udp("9.9.9.9", "10.2.0.1", 1, 2, iif="ext0")
+        topo.routers["a"].receive(pkt, now=0.0)
+        topo.run()
+        assert topo.routers["b"].interface("lan0").tx_packets == 1
+
+    def test_stub_has_no_neighbor(self):
+        topo = Topology()
+        topo.add_router("a")
+        topo.stub("a", "lan0", "10.1.0.254", "10.1.0.0/16")
+        assert "lan0" not in topo.neighbors_of("a")
+
+    def test_shared_event_loop(self):
+        topo = Topology()
+        a = topo.add_router("a")
+        b = topo.add_router("b")
+        assert a.loop is b.loop is topo.loop
+
+    def test_run_until(self):
+        topo = Topology()
+        topo.add_router("a")
+        topo.run(until=5.0)
+        assert topo.loop.now == 5.0

@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples double as end-to-end system tests — each one drives a full
+router (or topology) through its public API and asserts its own key
+invariants internally (e.g. the VPN example asserts attacks are not
+forwarded)."""
+
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, monkeypatch):
+    captured = io.StringIO()
+    monkeypatch.setattr(sys, "stdout", captured)
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    output = captured.getvalue()
+    assert output.strip(), f"{example} produced no output"
+
+
+def test_example_inventory():
+    """The README promises at least these five scenarios."""
+    expected = {
+        "quickstart.py",
+        "diffserv_edge.py",
+        "vpn_gateway.py",
+        "network_monitor.py",
+        "ssp_reservation.py",
+    }
+    assert expected <= set(EXAMPLES)
+
+
+class TestExampleOutputs:
+    """Spot-check load-bearing lines from the examples' output."""
+
+    def _run(self, name):
+        captured = io.StringIO()
+        stdout = sys.stdout
+        sys.stdout = captured
+        try:
+            runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+        finally:
+            sys.stdout = stdout
+        return captured.getvalue()
+
+    def test_diffserv_enforces_profiles(self):
+        output = self._run("diffserv_edge.py")
+        # Gold ~6, silver ~3 of a 10 Mbit/s uplink.
+        assert "gold" in output and "silver" in output
+        gold_line = next(l for l in output.splitlines() if l.startswith("gold"))
+        goodput = float(gold_line.split()[-2])
+        assert 5.5 <= goodput <= 6.5
+
+    def test_vpn_blocks_attacks(self):
+        output = self._run("vpn_gateway.py")
+        assert "no (encrypted)" in output
+        assert "replays counter = 1" in output
+        assert "auth failures = 1" in output
+
+    def test_ssp_reservation_holds(self):
+        output = self._run("ssp_reservation.py")
+        video_line = next(l for l in output.splitlines() if l.startswith("video"))
+        delivered = float(video_line.split()[-3])
+        assert delivered >= 5.5

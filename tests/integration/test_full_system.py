@@ -1,0 +1,232 @@
+"""Integration tests: the whole EISR stack working together.
+
+These exercise realistic compositions — every plugin type active at
+once, IPv4+IPv6 mixed traffic, live reconfiguration under load, flow
+expiry, and fault containment — the scenarios a downstream user of the
+library actually runs.
+"""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_GATES,
+    Disposition,
+    GATE_IP_OPTIONS,
+    GATE_IP_SECURITY,
+    GATE_PACKET_SCHEDULING,
+    Plugin,
+    Router,
+    TYPE_IP_SECURITY,
+    Verdict,
+)
+from repro.core.plugin import PluginInstance
+from repro.mgr import PluginManager
+from repro.net.headers import OPT_ROUTER_ALERT, OptionTLV
+from repro.net.packet import make_tcp, make_udp
+from repro.options import HopByHopPlugin, RouterAlertPlugin
+from repro.security import FirewallPlugin
+from repro.sched import DrrPlugin
+from repro.stats import StatisticsPlugin
+
+
+@pytest.fixture
+def router():
+    r = Router(flow_buckets=1024)
+    r.add_interface("atm0", prefix="10.0.0.0/8")
+    r.add_interface("atm1", prefix="20.0.0.0/8")
+    r.add_interface("v6atm0", prefix="2001:db8:1::/48")
+    r.routing_table.add("2001:db8:2::/48", "atm1")
+    return r
+
+
+def _v4(i=1, **kw):
+    kw.setdefault("iif", "atm0")
+    return make_udp(f"10.0.0.{i}", "20.0.0.1", 5000 + i, 53, **kw)
+
+
+def _v6(i=1, **kw):
+    kw.setdefault("iif", "v6atm0")
+    return make_udp(f"2001:db8:1::{i:x}", "2001:db8:2::1", 6000 + i, 53, **kw)
+
+
+class TestAllPluginTypesTogether:
+    """The Figure 2 configuration: options, security, statistics, and
+    scheduling plugins coexisting, bound to different flow sets."""
+
+    def _full_config(self, router):
+        instances = {}
+        options = HopByHopPlugin()
+        router.pcu.load(options)
+        instances["options"] = options.create_instance()
+        options.register_instance(instances["options"], "*, *", gate=GATE_IP_OPTIONS)
+
+        firewall = FirewallPlugin()
+        router.pcu.load(firewall)
+        instances["deny"] = firewall.create_instance(action="deny")
+        firewall.register_instance(
+            instances["deny"], "192.168.0.0/16, *", gate=GATE_IP_SECURITY, priority=5
+        )
+
+        stats = StatisticsPlugin()
+        router.pcu.load(stats)
+        instances["stats"] = stats.create_instance()
+        stats.register_instance(instances["stats"], "10.*, *", gate=GATE_IP_SECURITY)
+
+        drr = DrrPlugin()
+        router.pcu.load(drr)
+        instances["drr"] = drr.create_instance(interface="atm1")
+        drr.register_instance(instances["drr"], "*, *, UDP", gate=GATE_PACKET_SCHEDULING)
+        router.set_scheduler("atm1", instances["drr"])
+        return instances
+
+    def test_mixed_traffic_hits_the_right_plugins(self, router):
+        instances = self._full_config(router)
+        # Normal v4 flow: counted, scheduled, forwarded.
+        assert router.receive(_v4(1)) == Disposition.QUEUED
+        # Spoofed RFC1918 source: firewall drops before scheduling.
+        bad = make_udp("192.168.9.9", "20.0.0.1", 1, 2, iif="atm0")
+        assert router.receive(bad) == Disposition.DROPPED_BY_PLUGIN
+        # v6 flow: options gate sees it; no v4 stats binding matches.
+        assert router.receive(_v6(1)) in (Disposition.FORWARDED, Disposition.QUEUED)
+        assert instances["stats"].totals()["packets"] == 1
+        assert instances["deny"].denied == 1
+        assert instances["options"].packets_processed >= 2
+
+    def test_one_flow_entry_covers_all_gates(self, router):
+        self._full_config(router)
+        pkt = _v4(2)
+        router.receive(pkt)
+        record = pkt.fix
+        assert record is not None
+        bound_gates = [
+            gate for gate in DEFAULT_GATES
+            if record.slot(router.aiu.gate_index(gate)).instance is not None
+        ]
+        # stats at security gate, options walker, and DRR at scheduling.
+        assert len(bound_gates) == 3
+
+    def test_plugin_counts_survive_cache_hits(self, router):
+        instances = self._full_config(router)
+        for _ in range(10):
+            router.receive(_v4(3))
+        assert instances["stats"].totals()["packets"] == 10
+        assert router.aiu.flow_table.hits == 9
+
+
+class TestIPv6OptionsThroughRouter:
+    def test_router_alert_punts_to_control(self, router):
+        seen = []
+        plugin = RouterAlertPlugin()
+        router.pcu.load(plugin)
+        instance = plugin.create_instance(handler=lambda p, c: seen.append(p))
+        plugin.register_instance(instance, "*, *", gate=GATE_IP_OPTIONS)
+        pkt = _v6(1, hop_options=[OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")])
+        router.receive(pkt)
+        assert len(seen) == 1
+        plain = _v6(2)
+        router.receive(plain)
+        assert len(seen) == 1  # no alert, no punt
+
+    def test_unknown_option_drop_action(self, router):
+        plugin = HopByHopPlugin()
+        router.pcu.load(plugin)
+        instance = plugin.create_instance()
+        plugin.register_instance(instance, "*, *", gate=GATE_IP_OPTIONS)
+        pkt = _v6(3, hop_options=[OptionTLV(0x40 | 0x1F, b"")])  # drop action
+        assert router.receive(pkt) == Disposition.DROPPED_BY_PLUGIN
+
+
+class TestLiveReconfiguration:
+    def test_rebinding_changes_behaviour_mid_flow(self, router):
+        manager = PluginManager(router)
+        manager.run_script(
+            """
+            modload firewall
+            create firewall allow action=allow
+            bind allow ip_security 10.0.0.0/8, *
+            """
+        )
+        assert router.receive(_v4(1)) == Disposition.FORWARDED
+        # Tighten policy mid-traffic: deny this specific flow.
+        manager.run_script(
+            """
+            create firewall block action=deny
+            bind block ip_security 10.0.0.1, *, UDP, 5001, 53
+            """
+        )
+        assert router.receive(_v4(1)) == Disposition.DROPPED_BY_PLUGIN
+        # Unrelated flows still pass.
+        assert router.receive(_v4(2)) == Disposition.FORWARDED
+
+    def test_filter_removal_invalidates_cached_flows(self, router):
+        firewall = FirewallPlugin()
+        router.pcu.load(firewall)
+        deny = firewall.create_instance(action="deny")
+        record = firewall.register_instance(deny, "10.*, *", gate=GATE_IP_SECURITY)
+        assert router.receive(_v4(1)) == Disposition.DROPPED_BY_PLUGIN
+        router.aiu.remove_filter(record)
+        assert router.receive(_v4(1)) == Disposition.FORWARDED
+
+    def test_unload_plugin_under_traffic(self, router):
+        stats = StatisticsPlugin()
+        router.pcu.load(stats)
+        instance = stats.create_instance()
+        stats.register_instance(instance, "*, *", gate=GATE_IP_SECURITY)
+        router.receive(_v4(1))
+        router.pcu.unload(stats)
+        # Cache was purged with the filter; traffic still flows.
+        assert router.receive(_v4(1)) == Disposition.FORWARDED
+        assert router.aiu.filter_count() == 0
+
+
+class TestFlowExpiry:
+    def test_idle_flows_expire_and_reclassify(self, router):
+        stats = StatisticsPlugin()
+        router.pcu.load(stats)
+        instance = stats.create_instance()
+        stats.register_instance(instance, "10.*, *", gate=GATE_IP_SECURITY)
+        router.receive(_v4(1), now=0.0)
+        assert len(router.aiu.flow_table) == 1
+        removed = router.aiu.flow_table.expire_idle(now=120.0, max_idle=60.0)
+        assert removed == 1
+        # The flow re-classifies transparently on its next packet.
+        assert router.receive(_v4(1), now=121.0) == Disposition.FORWARDED
+        assert router.aiu.flow_table.misses == 2
+
+
+class TestFaultContainment:
+    class _Bomb(PluginInstance):
+        def process(self, packet, ctx):
+            raise RuntimeError("plugin bug")
+
+    class _BombPlugin(Plugin):
+        plugin_type = TYPE_IP_SECURITY
+        name = "bomb"
+        instance_class = None
+
+    def test_crashing_plugin_drops_packet_not_router(self, router):
+        plugin = self._BombPlugin()
+        plugin.instance_class = self._Bomb
+        router.pcu.load(plugin)
+        instance = plugin.create_instance()
+        plugin.register_instance(instance, "10.*, *", gate=GATE_IP_SECURITY)
+        assert router.receive(_v4(1)) == Disposition.DROPPED_BY_PLUGIN
+        assert router.counters["plugin_faults"] == 1
+        # Unmatched traffic is unaffected.
+        v6 = _v6(1)
+        assert router.receive(v6) == Disposition.FORWARDED
+
+
+class TestMixedFamilies:
+    def test_v4_and_v6_flows_coexist(self, router):
+        for i in range(3):
+            assert router.receive(_v4(i + 1)) == Disposition.FORWARDED
+            assert router.receive(_v6(i + 1)) == Disposition.FORWARDED
+        assert len(router.aiu.flow_table) == 6
+
+    def test_tcp_and_udp_distinct_flows(self, router):
+        udp = _v4(1)
+        tcp = make_tcp("10.0.0.1", "20.0.0.1", 5001, 53, iif="atm0")
+        router.receive(udp)
+        router.receive(tcp)
+        assert len(router.aiu.flow_table) == 2

@@ -1,0 +1,98 @@
+"""IPv6 end-to-end: options, flow labels, and interface-scoped filters
+through the full data path."""
+
+import pytest
+
+from repro.core import (
+    Disposition,
+    GATE_IP_OPTIONS,
+    GATE_IP_SECURITY,
+    Router,
+)
+from repro.net.headers import OPT_ROUTER_ALERT, OptionTLV
+from repro.net.packet import make_udp
+from repro.options import RouterAlertPlugin
+from repro.security import FirewallPlugin
+
+
+@pytest.fixture
+def router():
+    r = Router(flow_buckets=256)
+    r.add_interface("net0", prefix="2001:db8:1::/48")
+    r.add_interface("net1", prefix="2001:db8:2::/48")
+    r.add_interface("dmz0", prefix="2001:db8:3::/48")
+    return r
+
+
+def _v6(i=1, iif="net0", **kw):
+    return make_udp(f"2001:db8:1::{i:x}", "2001:db8:2::1", 6000 + i, 53,
+                    iif=iif, **kw)
+
+
+class TestIPv6Forwarding:
+    def test_forward_with_flow_label(self, router):
+        pkt = _v6(1, flow_label=0xABCDE)
+        assert router.receive(pkt) == Disposition.FORWARDED
+        assert router.interface("net1").tx_packets == 1
+
+    def test_hop_limit_expiry_generates_icmpv6(self, router):
+        router.local_addresses.add(_v6().src.__class__.parse("2001:db8:1::fe"))
+        pkt = _v6(1, ttl=1)
+        assert router.receive(pkt) == Disposition.DROPPED_TTL
+        assert router.counters["icmp_sent"] == 1
+
+    def test_flow_label_variants_are_one_flow(self, router):
+        """The five-tuple defines the flow; the label is not part of it."""
+        router.receive(_v6(1, flow_label=1))
+        router.receive(_v6(1, flow_label=2))
+        assert len(router.aiu.flow_table) == 1
+
+
+class TestInterfaceScopedFilters:
+    def test_iif_filter_only_matches_its_interface(self, router):
+        firewall = FirewallPlugin()
+        router.pcu.load(firewall)
+        deny = firewall.create_instance(action="deny")
+        # Deny this prefix only when it arrives on the DMZ interface
+        # (anti-spoofing): the paper's sixth tuple field.
+        firewall.register_instance(
+            deny, "2001:db8:1::/48, *, *, *, *, dmz0", gate=GATE_IP_SECURITY
+        )
+        from_dmz = _v6(1, iif="dmz0")
+        assert router.receive(from_dmz) == Disposition.DROPPED_BY_PLUGIN
+        from_inside = _v6(1, iif="net0")
+        assert router.receive(from_inside) == Disposition.FORWARDED
+
+    def test_iif_scoped_flows_cached_separately(self, router):
+        firewall = FirewallPlugin()
+        router.pcu.load(firewall)
+        deny = firewall.create_instance(action="deny")
+        firewall.register_instance(
+            deny, "*, *, *, *, *, dmz0", gate=GATE_IP_SECURITY
+        )
+        router.receive(_v6(1, iif="net0"))
+        assert router.receive(_v6(1, iif="dmz0")) == Disposition.DROPPED_BY_PLUGIN
+        # And the net0 flow's cache entry still forwards.
+        assert router.receive(_v6(1, iif="net0")) == Disposition.FORWARDED
+
+
+class TestOptionsOnPath:
+    def test_router_alert_reaches_handler_on_transit(self, router):
+        seen = []
+        plugin = RouterAlertPlugin()
+        router.pcu.load(plugin)
+        instance = plugin.create_instance(handler=lambda p, c: seen.append(p))
+        plugin.register_instance(instance, "*, *", gate=GATE_IP_OPTIONS)
+        pkt = _v6(1, hop_options=[OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")])
+        assert router.receive(pkt) == Disposition.FORWARDED
+        assert len(seen) == 1
+
+    def test_options_survive_wire_crossing(self, router):
+        from repro.net.interfaces import NetworkInterface
+        from repro.net.packet import Packet
+
+        pkt = _v6(1, hop_options=[OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")])
+        wire = pkt.serialize()
+        parsed = Packet.parse(wire, iif="net0")
+        assert parsed.hop_options == pkt.hop_options
+        assert router.receive(parsed) == Disposition.FORWARDED

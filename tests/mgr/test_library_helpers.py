@@ -1,0 +1,57 @@
+"""Tests for the Router Plugin Library's parsing helpers."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mgr.library import _coerce, parse_config_value, split_command
+
+
+class TestCoerce:
+    @pytest.mark.parametrize("text,expected", [
+        ("true", True),
+        ("False", False),
+        ("42", 42),
+        ("-7", -7),
+        ("1.5", 1.5),
+        ("2e6", 2e6),
+        ("atm0", "atm0"),
+        ("10.0.0.0/8", "10.0.0.0/8"),
+    ])
+    def test_typing(self, text, expected):
+        assert _coerce(text) == expected
+
+    def test_int_stays_int(self):
+        assert isinstance(_coerce("3"), int)
+        assert isinstance(_coerce("3.0"), float)
+
+
+class TestParseConfigValue:
+    def test_key_value(self):
+        assert parse_config_value("quantum=1500") == ("quantum", 1500)
+
+    def test_value_with_equals(self):
+        key, value = parse_config_value("note=a=b")
+        assert key == "note"
+        assert value == "a=b"
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_config_value("justakey")
+
+
+class TestSplitCommand:
+    def test_plain_tokens(self):
+        assert split_command("bind drr0 - 10.*, *, UDP") == [
+            "bind", "drr0", "-", "10.*,", "*,", "UDP"
+        ]
+
+    def test_quoted_tokens(self):
+        assert split_command('create drr "my instance"') == [
+            "create", "drr", "my instance"
+        ]
+
+    def test_comments_stripped(self):
+        assert split_command("modload drr # the scheduler") == ["modload", "drr"]
+
+    def test_empty_line(self):
+        assert split_command("   ") == []

@@ -1,0 +1,59 @@
+"""Tests for the pmgr CLI entry point."""
+
+import pytest
+
+from repro.mgr.pmgr import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "modload" in capsys.readouterr().out
+
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 0
+        assert "pmgr" in capsys.readouterr().out
+
+    def test_script_file(self, tmp_path, capsys):
+        script = tmp_path / "router.conf"
+        script.write_text(
+            """
+            # demo configuration
+            modload drr
+            create drr drr0 quantum=2000
+            bind drr0 - *, *, UDP
+            show plugins
+            """
+        )
+        assert main([str(script)]) == 0
+        output = capsys.readouterr().out
+        assert "loaded drr" in output
+        assert "created drr0" in output
+        assert "bound drr0" in output
+
+    def test_script_error_propagates(self, tmp_path):
+        script = tmp_path / "bad.conf"
+        script.write_text("modload warp-drive\n")
+        with pytest.raises(Exception):
+            main([str(script)])
+
+
+class TestMrouteCommand:
+    def test_mroute(self, tmp_path, capsys):
+        script = tmp_path / "mc.conf"
+        script.write_text("mroute 232.1.1.1 atm0 10.0.0.0/8\n")
+        assert main([str(script)]) == 0
+        assert "mroute" in capsys.readouterr().out
+
+    def test_mroute_usage_error(self, tmp_path):
+        from repro.core import Router
+        from repro.core.errors import ConfigurationError
+        from repro.mgr import PluginManager
+
+        router = Router(flow_buckets=64)
+        router.add_interface("atm0", prefix="0.0.0.0/0")
+        manager = PluginManager(router)
+        with pytest.raises(ConfigurationError):
+            manager.run_command("mroute 232.1.1.1")
+        manager.run_command("mroute 232.1.1.1 atm0 * atm0")
+        assert len(router.multicast_table) == 1

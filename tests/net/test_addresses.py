@@ -1,0 +1,232 @@
+"""Tests for IP address and prefix primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    AddressError,
+    IPAddress,
+    IPV4_WIDTH,
+    IPV6_WIDTH,
+    Prefix,
+    common_prefix_len,
+    parse_host,
+    prefix_range,
+)
+
+
+class TestIPAddressParsing:
+    def test_parse_ipv4(self):
+        addr = IPAddress.parse("192.94.233.10")
+        assert addr.width == IPV4_WIDTH
+        assert addr.value == (192 << 24) | (94 << 16) | (233 << 8) | 10
+
+    def test_parse_ipv4_zero(self):
+        assert IPAddress.parse("0.0.0.0").value == 0
+
+    def test_parse_ipv4_broadcast(self):
+        assert IPAddress.parse("255.255.255.255").value == 0xFFFFFFFF
+
+    def test_parse_ipv6_full(self):
+        addr = IPAddress.parse("2001:db8:0:0:0:0:0:1")
+        assert addr.width == IPV6_WIDTH
+        assert addr.value == (0x20010DB8 << 96) | 1
+
+    def test_parse_ipv6_compressed(self):
+        assert IPAddress.parse("2001:db8::1") == IPAddress.parse(
+            "2001:0db8:0000:0000:0000:0000:0000:0001"
+        )
+
+    def test_parse_ipv6_loopback(self):
+        assert IPAddress.parse("::1").value == 1
+
+    def test_parse_ipv6_all_zero(self):
+        assert IPAddress.parse("::").value == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1::2::3", ":::", "12345::1"],
+    )
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(AddressError):
+            IPAddress.parse(bad)
+
+    def test_format_roundtrip_v4(self):
+        text = "128.252.153.7"
+        assert str(IPAddress.parse(text)) == text
+
+    def test_format_ipv6_compression(self):
+        assert str(IPAddress.parse("2001:db8:0:0:0:0:0:1")) == "2001:db8::1"
+
+    def test_format_ipv6_no_compression_single_zero(self):
+        # A single zero group is not compressed.
+        assert str(IPAddress.v6((1 << 112) | (0 << 96) | 0x0001_0001_0001_0001_0001_0001)) != ""
+
+    def test_to_from_bytes(self):
+        addr = IPAddress.parse("10.1.2.3")
+        assert IPAddress.from_bytes(addr.to_bytes()) == addr
+
+    def test_top_bits(self):
+        addr = IPAddress.parse("129.0.0.0")
+        assert addr.top_bits(8) == 129
+        assert addr.top_bits(0) == 0
+
+    def test_value_range_checked(self):
+        with pytest.raises(AddressError):
+            IPAddress(1 << 32, IPV4_WIDTH)
+        with pytest.raises(AddressError):
+            IPAddress(-1, IPV4_WIDTH)
+
+    def test_parse_host_rejects_prefix(self):
+        with pytest.raises(AddressError):
+            parse_host("10.0.0.0/8")
+
+
+class TestPrefixParsing:
+    def test_parse_cidr(self):
+        p = Prefix.parse("129.0.0.0/8")
+        assert p.length == 8
+        assert p.value == 129 << 24
+
+    def test_parse_star_octets(self):
+        # The paper's filter notation: 129.*.*.* means 129/8.
+        assert Prefix.parse("129.*.*.*") == Prefix.parse("129.0.0.0/8")
+
+    def test_parse_star_shorthand(self):
+        assert Prefix.parse("128.252.153.*") == Prefix.parse("128.252.153.0/24")
+
+    def test_parse_bare_star(self):
+        p = Prefix.parse("*")
+        assert p.is_wildcard
+        assert p.length == 0
+
+    def test_parse_bare_star_v6(self):
+        assert Prefix.parse("*", width=IPV6_WIDTH).width == IPV6_WIDTH
+
+    def test_parse_host_prefix(self):
+        p = Prefix.parse("192.94.233.10")
+        assert p.is_host
+        assert p.length == 32
+
+    def test_parse_ipv6_prefix(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert p.width == IPV6_WIDTH
+        assert p.length == 32
+
+    def test_canonicalizes_host_bits(self):
+        # Bits below the prefix length are zeroed.
+        p = Prefix.parse("10.1.2.3/8")
+        assert p.value == 10 << 24
+
+    def test_noncontiguous_wildcard_rejected(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("129.*.1.*")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/33")
+
+
+class TestPrefixSemantics:
+    def test_matches_inside(self):
+        p = Prefix.parse("128.252.153.0/24")
+        assert p.matches(IPAddress.parse("128.252.153.1"))
+        assert p.matches(IPAddress.parse("128.252.153.255"))
+
+    def test_matches_outside(self):
+        p = Prefix.parse("128.252.153.0/24")
+        assert not p.matches(IPAddress.parse("128.252.154.1"))
+
+    def test_wildcard_matches_everything(self):
+        p = Prefix.parse("*")
+        assert p.matches(IPAddress.parse("1.2.3.4"))
+        assert p.matches(IPAddress.parse("255.255.255.255"))
+
+    def test_covers(self):
+        outer = Prefix.parse("128.252.153.0/24")
+        inner = Prefix.parse("128.252.153.1/32")
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+        assert outer.covers(outer)
+
+    def test_covers_disjoint(self):
+        a = Prefix.parse("129.0.0.0/8")
+        b = Prefix.parse("128.252.153.0/24")
+        assert not a.covers(b)
+        assert not b.covers(a)
+
+    def test_key_bits(self):
+        assert Prefix.parse("129.0.0.0/8").key_bits() == 129
+        assert Prefix.parse("*").key_bits() == 0
+
+    def test_enumerate_parents(self):
+        p = Prefix.parse("192.0.0.0/2")
+        parents = list(p.enumerate_parents())
+        assert [q.length for q in parents] == [1, 0]
+        assert all(q.covers(p) for q in parents)
+
+    def test_prefix_range(self):
+        low, high = prefix_range(Prefix.parse("10.0.0.0/8"))
+        assert low == 10 << 24
+        assert high == (11 << 24) - 1
+
+    def test_host_factory(self):
+        addr = IPAddress.parse("1.2.3.4")
+        assert Prefix.host(addr).matches(addr)
+        assert Prefix.host(addr).is_host
+
+    def test_str_roundtrip(self):
+        for text in ["129.0.0.0/8", "2001:db8::/32", "*"]:
+            assert str(Prefix.parse(text)) == text
+
+
+class TestCommonPrefixLen:
+    def test_identical(self):
+        a = IPAddress.parse("1.2.3.4")
+        assert common_prefix_len(a, a) == 32
+
+    def test_first_bit_differs(self):
+        a = IPAddress.parse("0.0.0.0")
+        b = IPAddress.parse("128.0.0.0")
+        assert common_prefix_len(a, b) == 0
+
+    def test_family_mismatch(self):
+        with pytest.raises(AddressError):
+            common_prefix_len(IPAddress.parse("1.2.3.4"), IPAddress.parse("::1"))
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_v4_format_parse_roundtrip(value):
+    addr = IPAddress(value, IPV4_WIDTH)
+    assert IPAddress.parse(str(addr)) == addr
+
+
+@given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+def test_v6_format_parse_roundtrip(value):
+    addr = IPAddress(value, IPV6_WIDTH)
+    assert IPAddress.parse(str(addr)) == addr
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_prefix_matches_iff_in_range(value, length, probe):
+    prefix = Prefix(value, length, IPV4_WIDTH)
+    low, high = prefix_range(prefix)
+    assert prefix.matches(probe) == (low <= probe <= high)
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=32),
+)
+def test_covers_is_consistent_with_matches(value, len_a, len_b):
+    a = Prefix(value, len_a, IPV4_WIDTH)
+    b = Prefix(value, len_b, IPV4_WIDTH)
+    if len_a <= len_b:
+        assert a.covers(b)
+    else:
+        assert not a.covers(b)

@@ -1,0 +1,204 @@
+"""Tests for wire-format header encode/decode."""
+
+import pytest
+
+from repro.net.addresses import IPAddress
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.headers import (
+    AHHeader,
+    ESPHeader,
+    HeaderError,
+    IPv4Header,
+    IPv6Header,
+    OPT_PAD1,
+    OPT_ROUTER_ALERT,
+    OptionsHeader,
+    OptionTLV,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPHeader,
+    UDPHeader,
+    protocol_name,
+    protocol_number,
+)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_with_embedded_checksum(self):
+        data = bytearray(b"\x45\x00\x00\x14" + b"\x00" * 16)
+        csum = internet_checksum(bytes(data))
+        data[10:12] = csum.to_bytes(2, "big")
+        assert verify_checksum(bytes(data))
+
+
+class TestIPv4Header:
+    def _header(self, **kwargs):
+        defaults = dict(
+            src=IPAddress.parse("10.0.0.1"),
+            dst=IPAddress.parse("10.0.0.2"),
+            protocol=PROTO_UDP,
+            total_length=100,
+            ttl=42,
+            tos=0xB8,
+        )
+        defaults.update(kwargs)
+        return IPv4Header(**defaults)
+
+    def test_roundtrip(self):
+        header = self._header()
+        parsed = IPv4Header.parse(header.serialize())
+        assert parsed == header
+
+    def test_serialized_length(self):
+        assert len(self._header().serialize()) == 20
+
+    def test_checksum_is_valid(self):
+        assert verify_checksum(self._header().serialize())
+
+    def test_corrupted_checksum_rejected(self):
+        data = bytearray(self._header().serialize())
+        data[8] ^= 0xFF
+        with pytest.raises(HeaderError):
+            IPv4Header.parse(bytes(data))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(HeaderError):
+            IPv4Header.parse(b"\x45\x00")
+
+    def test_wrong_version_rejected(self):
+        data = bytearray(self._header().serialize())
+        data[0] = (6 << 4) | 5
+        with pytest.raises(HeaderError):
+            IPv4Header.parse(bytes(data))
+
+    def test_requires_v4_addresses(self):
+        with pytest.raises(HeaderError):
+            IPv4Header(
+                src=IPAddress.parse("::1"),
+                dst=IPAddress.parse("::2"),
+                protocol=PROTO_UDP,
+            )
+
+
+class TestIPv6Header:
+    def _header(self, **kwargs):
+        defaults = dict(
+            src=IPAddress.parse("2001:db8::1"),
+            dst=IPAddress.parse("2001:db8::2"),
+            next_header=PROTO_UDP,
+            payload_length=512,
+            hop_limit=17,
+            traffic_class=0x2E,
+            flow_label=0xABCDE,
+        )
+        defaults.update(kwargs)
+        return IPv6Header(**defaults)
+
+    def test_roundtrip(self):
+        header = self._header()
+        assert IPv6Header.parse(header.serialize()) == header
+
+    def test_serialized_length(self):
+        assert len(self._header().serialize()) == 40
+
+    def test_flow_label_range_checked(self):
+        with pytest.raises(HeaderError):
+            self._header(flow_label=1 << 20)
+
+    def test_wrong_version_rejected(self):
+        data = bytearray(self._header().serialize())
+        data[0] = 0x45
+        with pytest.raises(HeaderError):
+            IPv6Header.parse(bytes(data))
+
+
+class TestOptionsHeader:
+    def test_roundtrip_router_alert(self):
+        header = OptionsHeader(PROTO_UDP, [OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")])
+        data = header.serialize()
+        assert len(data) % 8 == 0
+        parsed, consumed = OptionsHeader.parse(data)
+        assert consumed == len(data)
+        assert parsed.next_header == PROTO_UDP
+        assert parsed.options == header.options
+
+    def test_empty_options_pad_to_8(self):
+        data = OptionsHeader(PROTO_TCP, []).serialize()
+        assert len(data) == 8
+        parsed, _ = OptionsHeader.parse(data)
+        assert parsed.options == []
+
+    def test_pad1_skipped_on_parse(self):
+        header = OptionsHeader(PROTO_UDP, [OptionTLV(OPT_PAD1)])
+        parsed, _ = OptionsHeader.parse(header.serialize())
+        assert parsed.options == []  # padding is not a semantic option
+
+    def test_truncated_rejected(self):
+        data = OptionsHeader(PROTO_UDP, [OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")]).serialize()
+        with pytest.raises(HeaderError):
+            OptionsHeader.parse(data[:4])
+
+    def test_action_bits(self):
+        assert OptionTLV(OPT_ROUTER_ALERT).action_bits == 0
+        assert OptionTLV(0xC2).action_bits == 3
+
+
+class TestTransportHeaders:
+    def test_udp_roundtrip(self):
+        header = UDPHeader(5000, 53, 200)
+        assert UDPHeader.parse(header.serialize()) == header
+
+    def test_udp_short_rejected(self):
+        with pytest.raises(HeaderError):
+            UDPHeader.parse(b"\x00\x01")
+
+    def test_tcp_roundtrip(self):
+        header = TCPHeader(12345, 80, seq=7, ack=9, flags=0x18, window=1024)
+        assert TCPHeader.parse(header.serialize()) == header
+
+    def test_tcp_options_rejected(self):
+        data = bytearray(TCPHeader(1, 2).serialize())
+        data[12] = 6 << 4  # data offset 6 => options present
+        with pytest.raises(HeaderError):
+            TCPHeader.parse(bytes(data))
+
+
+class TestIPsecHeaders:
+    def test_ah_roundtrip(self):
+        header = AHHeader(PROTO_UDP, spi=0xDEADBEEF, sequence=42, icv=b"\x01" * 12)
+        parsed, consumed = AHHeader.parse(header.serialize())
+        assert consumed == len(header.serialize())
+        assert parsed == header
+
+    def test_ah_truncated(self):
+        with pytest.raises(HeaderError):
+            AHHeader.parse(b"\x00" * 8)
+
+    def test_esp_roundtrip(self):
+        header = ESPHeader(spi=77, sequence=3, body=b"ciphertext")
+        assert ESPHeader.parse(header.serialize()) == header
+
+
+class TestProtocolNames:
+    def test_known_names(self):
+        assert protocol_name(PROTO_TCP) == "TCP"
+        assert protocol_name(PROTO_UDP) == "UDP"
+
+    def test_unknown_number_stringified(self):
+        assert protocol_name(200) == "200"
+
+    @pytest.mark.parametrize("spec,expected", [("TCP", 6), ("udp", 17), (6, 6), ("6", 6)])
+    def test_protocol_number(self, spec, expected):
+        assert protocol_number(spec) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(HeaderError):
+            protocol_number("NOPE")

@@ -1,0 +1,239 @@
+"""Tests for ICMP error generation and IPv4 fragmentation/reassembly."""
+
+import pytest
+
+from repro.net.addresses import IPAddress
+from repro.net.fragment import (
+    FragmentationError,
+    Reassembler,
+    fragment_v4,
+)
+from repro.net.icmp import (
+    ICMP6_PACKET_TOO_BIG,
+    ICMP6_TIME_EXCEEDED,
+    ICMP_DEST_UNREACHABLE,
+    ICMP_TIME_EXCEEDED,
+    IcmpRateLimiter,
+    UNREACH_FRAG_NEEDED,
+    destination_unreachable,
+    packet_too_big,
+    time_exceeded,
+)
+from repro.net.packet import make_udp
+
+SRC4 = IPAddress.parse("192.0.2.254")
+SRC6 = IPAddress.parse("2001:db8::fe")
+
+
+def _v4(size=100, **kw):
+    return make_udp("10.0.0.1", "20.0.0.1", 5000, 53, payload_size=size, **kw)
+
+
+def _v6(size=100, **kw):
+    return make_udp("2001:db8::1", "2001:db8::2", 5000, 53, payload_size=size, **kw)
+
+
+class TestIcmpErrors:
+    def test_time_exceeded_v4(self):
+        error = time_exceeded(_v4(), SRC4)
+        assert error is not None
+        assert error.dst == _v4().src
+        assert error.annotations["icmp"].icmp_type == ICMP_TIME_EXCEEDED
+        assert error.annotations["icmp"].is_time_exceeded
+
+    def test_time_exceeded_v6(self):
+        error = time_exceeded(_v6(), SRC6)
+        assert error.annotations["icmp"].icmp_type == ICMP6_TIME_EXCEEDED
+
+    def test_unreachable(self):
+        error = destination_unreachable(_v4(), SRC4)
+        assert error.annotations["icmp"].is_unreachable
+
+    def test_packet_too_big_carries_mtu(self):
+        error = packet_too_big(_v6(size=2000), SRC6, mtu=1500)
+        info = error.annotations["icmp"]
+        assert info.icmp_type == ICMP6_PACKET_TOO_BIG
+        assert info.mtu == 1500
+        assert info.is_too_big
+
+    def test_v4_frag_needed_is_unreachable_code4(self):
+        error = packet_too_big(_v4(size=2000), SRC4, mtu=1500)
+        info = error.annotations["icmp"]
+        assert info.icmp_type == ICMP_DEST_UNREACHABLE
+        assert info.code == UNREACH_FRAG_NEEDED
+
+    def test_quotes_offending_datagram(self):
+        pkt = _v4()
+        error = time_exceeded(pkt, SRC4)
+        assert error.payload == pkt.serialize()[: len(error.payload)]
+        assert len(error.payload) > 20
+
+    def test_no_error_about_an_error(self):
+        first = time_exceeded(_v4(), SRC4)
+        assert time_exceeded(first, SRC4) is None
+
+    def test_no_source_no_error(self):
+        assert time_exceeded(_v4(), None) is None
+
+    def test_family_mismatch_no_error(self):
+        assert time_exceeded(_v4(), SRC6) is None
+
+
+class TestRateLimiter:
+    def test_burst_then_suppression(self):
+        limiter = IcmpRateLimiter(rate_per_s=10, burst=3)
+        allowed = [limiter.allow(0.0) for _ in range(5)]
+        assert allowed == [True, True, True, False, False]
+        assert limiter.suppressed == 2
+
+    def test_tokens_refill(self):
+        limiter = IcmpRateLimiter(rate_per_s=10, burst=1)
+        assert limiter.allow(0.0)
+        assert not limiter.allow(0.01)
+        assert limiter.allow(1.0)
+
+
+class TestFragmentation:
+    def test_small_packet_unchanged(self):
+        pkt = _v4(size=100)
+        assert fragment_v4(pkt, mtu=1500) == [pkt]
+
+    def test_fragments_fit_mtu(self):
+        pkt = _v4(size=4000)
+        fragments = fragment_v4(pkt, mtu=1500)
+        assert len(fragments) >= 3
+        assert all(f.length <= 1500 for f in fragments)
+
+    def test_offsets_are_8_byte_aligned_and_contiguous(self):
+        fragments = fragment_v4(_v4(size=4000), mtu=1500)
+        offset = 0
+        for frag in fragments:
+            info = frag.annotations["frag"]
+            assert info.offset == offset
+            assert info.offset % 8 == 0
+            offset += len(frag.annotations["frag_raw"])
+        assert not fragments[-1].annotations["frag"].more_fragments
+        assert all(f.annotations["frag"].more_fragments for f in fragments[:-1])
+
+    def test_only_first_fragment_has_ports(self):
+        fragments = fragment_v4(_v4(size=4000), mtu=1500)
+        assert fragments[0].src_port == 5000
+        assert all(f.src_port == 0 for f in fragments[1:])
+
+    def test_df_rejected(self):
+        with pytest.raises(FragmentationError):
+            fragment_v4(_v4(size=4000), mtu=1500, df=True)
+
+    def test_v6_rejected(self):
+        with pytest.raises(FragmentationError):
+            fragment_v4(_v6(size=4000), mtu=1500)
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(FragmentationError):
+            fragment_v4(_v4(size=4000), mtu=20)
+
+
+class TestReassembly:
+    def test_roundtrip(self):
+        pkt = _v4(size=4000)
+        original_payload = pkt.payload
+        fragments = fragment_v4(pkt, mtu=1500)
+        reassembler = Reassembler()
+        result = None
+        for frag in fragments:
+            result = reassembler.add(frag)
+        assert result is not None
+        assert result.payload == original_payload
+        assert result.five_tuple() == pkt.five_tuple()
+        assert reassembler.completed == 1
+
+    def test_out_of_order_reassembly(self):
+        fragments = fragment_v4(_v4(size=4000), mtu=1500)
+        reassembler = Reassembler()
+        result = None
+        for frag in reversed(fragments):
+            result = reassembler.add(frag) or result
+        assert result is not None
+
+    def test_incomplete_stays_pending(self):
+        fragments = fragment_v4(_v4(size=4000), mtu=1500)
+        reassembler = Reassembler()
+        assert reassembler.add(fragments[0]) is None
+        assert reassembler.pending == 1
+
+    def test_expiry(self):
+        fragments = fragment_v4(_v4(size=4000), mtu=1500)
+        reassembler = Reassembler(timeout=10.0)
+        reassembler.add(fragments[0], now=0.0)
+        assert reassembler.expire(now=20.0) == 1
+        assert reassembler.pending == 0
+        assert reassembler.timed_out == 1
+
+    def test_non_fragment_passes_through(self):
+        pkt = _v4(size=100)
+        assert Reassembler().add(pkt) is pkt
+
+    def test_interleaved_flows_do_not_mix(self):
+        # 2500 B payload + 8 B UDP header -> exactly two 1480 B-max pieces.
+        a = fragment_v4(_v4(size=2500), mtu=1500)
+        b_pkt = make_udp("10.0.0.2", "20.0.0.1", 6000, 53, payload_size=2500)
+        b = fragment_v4(b_pkt, mtu=1500)
+        assert len(a) == len(b) == 2
+        reassembler = Reassembler()
+        results = []
+        for frag in [a[0], b[0], a[1], b[1]]:
+            out = reassembler.add(frag)
+            if out is not None:
+                results.append(out)
+        assert len(results) == 2
+        assert {r.src_port for r in results} == {5000, 6000}
+
+
+class TestRouterIntegration:
+    def _router(self, mtu_out=1500):
+        from repro.core import Router
+
+        router = Router(flow_buckets=256)
+        router.add_interface("atm0", address="10.0.0.254", prefix="10.0.0.0/8")
+        router.add_interface("atm1", prefix="20.0.0.0/8", mtu=mtu_out)
+        return router
+
+    def test_router_fragments_oversized_v4(self):
+        router = self._router()
+        pkt = _v4(size=4000, iif="atm0")
+        assert router.receive(pkt) == "forwarded"
+        assert router.counters["fragmented"] == 1
+        assert router.interface("atm1").tx_packets >= 3
+
+    def test_router_rejects_oversized_v6_with_icmp(self):
+        router = self._router()
+        router.routing_table.add("2001:db8:2::/48", "atm1")
+        router.local_addresses.add(IPAddress.parse("2001:db8::fe"))
+        pkt = make_udp("2001:db8::1", "2001:db8:2::1", 1, 2,
+                       payload_size=4000, iif="atm0")
+        assert router.receive(pkt) == "dropped_too_big"
+        assert router.counters["icmp_sent"] == 1
+
+    def test_ttl_expiry_sends_time_exceeded(self):
+        router = self._router()
+        pkt = _v4(size=100, iif="atm0", ttl=1)
+        router.receive(pkt)
+        assert router.counters["icmp_sent"] == 1
+        # The error went back out the interface toward the source.
+        assert router.interface("atm0").tx_packets == 1
+
+    def test_icmp_can_be_disabled(self):
+        from repro.core import Router
+
+        router = Router(flow_buckets=256, send_icmp_errors=False)
+        router.add_interface("atm0", address="10.0.0.254", prefix="10.0.0.0/8")
+        router.receive(_v4(size=100, iif="atm0", ttl=1))
+        assert router.counters["icmp_sent"] == 0
+
+    def test_icmp_rate_limited(self):
+        router = self._router()
+        for i in range(40):
+            pkt = make_udp(f"10.0.0.{i + 1}", "20.0.0.1", 1, 2, ttl=1, iif="atm0")
+            router.receive(pkt, now=0.0)
+        assert router.counters["icmp_sent"] <= 10
+        assert router.counters["icmp_suppressed"] > 0

@@ -1,0 +1,90 @@
+"""Tests for simulated interfaces and links."""
+
+import pytest
+
+from repro.net.interfaces import InterfaceError, NetworkInterface
+from repro.net.packet import make_udp
+
+
+def _pkt(size=100):
+    return make_udp("10.0.0.1", "10.0.0.2", 1, 2, payload_size=size)
+
+
+class TestTransmit:
+    def test_serialization_delay(self):
+        iface = NetworkInterface("atm0", rate_bps=1_000_000)
+        pkt = _pkt(size=97)  # 97 + 28 header = 125 B = 1000 bits
+        assert iface.serialization_delay(pkt) == pytest.approx(1e-3)
+
+    def test_output_without_link_is_sink(self):
+        iface = NetworkInterface("atm0")
+        done = iface.output(_pkt(), now=0.0)
+        assert done > 0.0
+        assert iface.tx_packets == 1
+
+    def test_back_to_back_packets_queue_on_wire(self):
+        iface = NetworkInterface("atm0", rate_bps=1_000_000)
+        first = iface.output(_pkt(97), now=0.0)
+        second = iface.output(_pkt(97), now=0.0)
+        assert second == pytest.approx(first + 1e-3)
+
+    def test_transmitter_idles_between_packets(self):
+        iface = NetworkInterface("atm0", rate_bps=1_000_000)
+        iface.output(_pkt(97), now=0.0)
+        done = iface.output(_pkt(97), now=10.0)
+        assert done == pytest.approx(10.0 + 1e-3)
+
+    def test_mtu_enforced(self):
+        iface = NetworkInterface("atm0", mtu=100)
+        with pytest.raises(InterfaceError):
+            iface.output(_pkt(size=200))
+        assert iface.tx_drops == 1
+
+
+class TestLink:
+    def test_delivery_to_peer(self):
+        a = NetworkInterface("a0", rate_bps=1_000_000)
+        b = NetworkInterface("b0")
+        a.connect(b, delay=0.5)
+        a.output(_pkt(97), now=0.0)
+        received = b.poll()
+        assert len(received) == 1
+        assert received[0].iif == "b0"
+        assert received[0].arrival_time == pytest.approx(0.5 + 1e-3)
+
+    def test_peer_property(self):
+        a = NetworkInterface("a0")
+        b = NetworkInterface("b0")
+        a.connect(b)
+        assert a.peer is b
+        assert b.peer is a
+
+    def test_poll_respects_now(self):
+        a = NetworkInterface("a0", rate_bps=1e9)
+        b = NetworkInterface("b0")
+        a.connect(b, delay=1.0)
+        a.output(_pkt(), now=0.0)
+        assert b.poll(now=0.5) == []
+        assert len(b.poll(now=2.0)) == 1
+
+    def test_poll_orders_by_arrival(self):
+        iface = NetworkInterface("rx")
+        p1, p2 = _pkt(), _pkt()
+        iface.inject(p2, at_time=2.0)
+        iface.inject(p1, at_time=1.0)
+        out = iface.poll()
+        assert [p.packet_id for p in out] == [p1.packet_id, p2.packet_id]
+
+    def test_on_deliver_callback_bypasses_inbox(self):
+        iface = NetworkInterface("rx")
+        seen = []
+        iface.on_deliver = lambda t, p: seen.append((t, p))
+        iface.inject(_pkt(), at_time=3.0)
+        assert len(seen) == 1
+        assert iface.pending_rx == 0
+
+    def test_rx_accounting(self):
+        iface = NetworkInterface("rx")
+        iface.inject(_pkt(100), at_time=0.0)
+        assert iface.rx_packets == 1
+        assert iface.rx_bytes == 128

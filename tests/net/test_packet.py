@@ -1,0 +1,143 @@
+"""Tests for the Packet (mbuf analogue)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import IPAddress
+from repro.net.headers import (
+    HeaderError,
+    OPT_ROUTER_ALERT,
+    OptionTLV,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.net.packet import Packet, make_tcp, make_udp
+
+
+class TestConstruction:
+    def test_make_udp(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 5000, 53, payload_size=100)
+        assert pkt.protocol == PROTO_UDP
+        assert pkt.version == 4
+        assert len(pkt.payload) == 100
+
+    def test_make_tcp_v6(self):
+        pkt = make_tcp("2001:db8::1", "2001:db8::2", 1234, 80)
+        assert pkt.is_ipv6
+        assert pkt.version == 6
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(
+                src=IPAddress.parse("10.0.0.1"),
+                dst=IPAddress.parse("::1"),
+                protocol=PROTO_UDP,
+            )
+
+    def test_packet_ids_unique(self):
+        a = make_udp("1.1.1.1", "2.2.2.2", 1, 2)
+        b = make_udp("1.1.1.1", "2.2.2.2", 1, 2)
+        assert a.packet_id != b.packet_id
+
+    def test_copy_resets_mbuf_metadata(self):
+        pkt = make_udp("1.1.1.1", "2.2.2.2", 1, 2)
+        pkt.fix = object()
+        dup = pkt.copy()
+        assert dup.fix is None
+        assert dup.packet_id != pkt.packet_id
+        assert dup.five_tuple() == pkt.five_tuple()
+
+
+class TestTuples:
+    def test_five_tuple(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 5000, 53)
+        src, dst, proto, sport, dport = pkt.five_tuple()
+        assert proto == PROTO_UDP
+        assert (sport, dport) == (5000, 53)
+
+    def test_six_tuple_includes_iif(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 5000, 53, iif="atm0")
+        assert pkt.six_tuple()[-1] == "atm0"
+
+    def test_portless_protocol_ports_are_zero(self):
+        pkt = Packet(
+            src=IPAddress.parse("10.0.0.1"),
+            dst=IPAddress.parse("10.0.0.2"),
+            protocol=PROTO_ICMP,
+        )
+        assert pkt.five_tuple()[3:] == (0, 0)
+
+
+class TestLengths:
+    def test_v4_udp_length(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 1, 2, payload_size=100)
+        assert pkt.length == 20 + 8 + 100
+
+    def test_v6_tcp_length(self):
+        pkt = make_tcp("2001:db8::1", "2001:db8::2", 1, 2, payload_size=10)
+        assert pkt.length == 40 + 20 + 10
+
+    def test_length_matches_serialization(self):
+        for pkt in [
+            make_udp("10.0.0.1", "10.0.0.2", 1, 2, payload_size=64),
+            make_tcp("2001:db8::1", "2001:db8::2", 1, 2, payload_size=64),
+        ]:
+            assert pkt.length == len(pkt.serialize())
+
+
+class TestWireRoundtrip:
+    def _roundtrip(self, pkt):
+        parsed = Packet.parse(pkt.serialize(), iif="atm1")
+        assert parsed.five_tuple() == pkt.five_tuple()
+        assert parsed.payload == pkt.payload
+        assert parsed.ttl == pkt.ttl
+        assert parsed.iif == "atm1"
+        return parsed
+
+    def test_v4_udp(self):
+        self._roundtrip(make_udp("10.0.0.1", "10.0.0.2", 5000, 53, payload_size=64, ttl=9))
+
+    def test_v4_tcp(self):
+        self._roundtrip(make_tcp("10.0.0.1", "10.0.0.2", 5000, 80, payload_size=1))
+
+    def test_v6_udp_flow_label(self):
+        pkt = make_udp("2001:db8::1", "2001:db8::2", 1, 2, flow_label=0x12345)
+        assert self._roundtrip(pkt).flow_label == 0x12345
+
+    def test_v6_hop_options(self):
+        pkt = make_udp(
+            "2001:db8::1",
+            "2001:db8::2",
+            1,
+            2,
+            hop_options=[OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")],
+        )
+        parsed = self._roundtrip(pkt)
+        assert parsed.hop_options == pkt.hop_options
+
+    def test_v4_hop_options_rejected(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 1, 2)
+        pkt.hop_options = [OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")]
+        with pytest.raises(HeaderError):
+            pkt.serialize()
+
+    def test_empty_datagram_rejected(self):
+        with pytest.raises(HeaderError):
+            Packet.parse(b"")
+
+
+@given(
+    sport=st.integers(min_value=0, max_value=65535),
+    dport=st.integers(min_value=0, max_value=65535),
+    size=st.integers(min_value=0, max_value=512),
+    proto=st.sampled_from([PROTO_UDP, PROTO_TCP]),
+    v6=st.booleans(),
+)
+def test_wire_roundtrip_property(sport, dport, size, proto, v6):
+    make = make_udp if proto == PROTO_UDP else make_tcp
+    src, dst = ("2001:db8::1", "2001:db8::2") if v6 else ("10.0.0.1", "10.0.0.2")
+    pkt = make(src, dst, sport, dport, payload_size=size)
+    parsed = Packet.parse(pkt.serialize())
+    assert parsed.five_tuple() == pkt.five_tuple()
+    assert len(parsed.payload) == size

@@ -1,0 +1,85 @@
+"""Tests for the routing table and linear LPM baseline."""
+
+from repro.net.addresses import Prefix
+from repro.net.routing import LinearLPM, RoutingTable
+
+
+class TestLinearLPM:
+    def test_longest_match_wins(self):
+        lpm = LinearLPM()
+        lpm.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        lpm.insert(Prefix.parse("10.1.0.0/16"), "fine")
+        addr = Prefix.parse("10.1.2.3/32").value
+        assert lpm.lookup(addr) == "fine"
+
+    def test_no_match_returns_none(self):
+        lpm = LinearLPM()
+        lpm.insert(Prefix.parse("10.0.0.0/8"), "x")
+        assert lpm.lookup(Prefix.parse("11.0.0.0/32").value) is None
+
+    def test_default_route(self):
+        lpm = LinearLPM()
+        lpm.insert(Prefix.parse("*"), "default")
+        assert lpm.lookup(123456) == "default"
+
+    def test_reinsert_replaces(self):
+        lpm = LinearLPM()
+        p = Prefix.parse("10.0.0.0/8")
+        lpm.insert(p, "old")
+        lpm.insert(p, "new")
+        assert len(lpm) == 1
+        assert lpm.lookup(p.value) == "new"
+
+    def test_remove(self):
+        lpm = LinearLPM()
+        p = Prefix.parse("10.0.0.0/8")
+        lpm.insert(p, "x")
+        assert lpm.remove(p)
+        assert not lpm.remove(p)
+        assert lpm.lookup(p.value) is None
+
+
+class TestRoutingTable:
+    def test_add_and_lookup(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", "atm0", next_hop="10.255.0.1")
+        route = table.lookup("10.1.2.3")
+        assert route.interface == "atm0"
+        assert str(route.next_hop) == "10.255.0.1"
+
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.add("0.0.0.0/0", "default0")
+        table.add("128.252.0.0/16", "campus0")
+        table.add("128.252.153.0/24", "lab0")
+        assert table.lookup("128.252.153.7").interface == "lab0"
+        assert table.lookup("128.252.1.1").interface == "campus0"
+        assert table.lookup("9.9.9.9").interface == "default0"
+
+    def test_families_are_independent(self):
+        table = RoutingTable()
+        table.add("0.0.0.0/0", "v4out")
+        table.add("::/0", "v6out")
+        assert table.lookup("1.2.3.4").interface == "v4out"
+        assert table.lookup("2001:db8::1").interface == "v6out"
+
+    def test_lookup_with_no_routes(self):
+        assert RoutingTable().lookup("1.2.3.4") is None
+
+    def test_remove(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", "atm0")
+        assert table.remove("10.0.0.0/8")
+        assert not table.remove("10.0.0.0/8")
+        assert table.lookup("10.0.0.1") is None
+
+    def test_directly_connected(self):
+        table = RoutingTable()
+        route = table.add("192.168.1.0/24", "eth0")
+        assert route.is_directly_connected
+
+    def test_contains_and_len(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", "a")
+        assert "10.0.0.0/8" in table
+        assert len(table) == 1

@@ -1,0 +1,95 @@
+"""Tests for the IPv6 option-processing plugins."""
+
+import struct
+
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.headers import OPT_JUMBO, OPT_ROUTER_ALERT, OptionTLV
+from repro.net.packet import make_udp
+from repro.options import (
+    HopByHopPlugin,
+    JumboPlugin,
+    RouterAlertPlugin,
+)
+
+
+def _v6(options):
+    return make_udp("2001:db8::1", "2001:db8::2", 1, 2, hop_options=options)
+
+
+class TestHopByHop:
+    def test_known_options_pass(self):
+        instance = HopByHopPlugin().create_instance()
+        pkt = _v6([OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")])
+        assert instance.process(pkt, PluginContext()) == Verdict.CONTINUE
+
+    def test_unknown_skip_action(self):
+        instance = HopByHopPlugin().create_instance()
+        # Action bits 00 -> skip.
+        pkt = _v6([OptionTLV(0x1E, b"")])
+        assert instance.process(pkt, PluginContext()) == Verdict.CONTINUE
+        assert instance.unknown_skipped == 1
+
+    def test_unknown_drop_action(self):
+        instance = HopByHopPlugin().create_instance()
+        # Action bits 01 -> drop silently.
+        pkt = _v6([OptionTLV(0x40 | 0x1E, b"")])
+        assert instance.process(pkt, PluginContext()) == Verdict.DROP
+        assert instance.dropped == 1
+        assert instance.icmp_sent == 0
+
+    def test_unknown_drop_icmp_action(self):
+        instance = HopByHopPlugin().create_instance()
+        # Action bits 10 -> drop + ICMP parameter problem.
+        pkt = _v6([OptionTLV(0x80 | 0x1E, b"")])
+        assert instance.process(pkt, PluginContext()) == Verdict.DROP
+        assert instance.icmp_sent == 1
+
+    def test_no_options_is_noop(self):
+        instance = HopByHopPlugin().create_instance()
+        assert instance.process(_v6([]), PluginContext()) == Verdict.CONTINUE
+
+
+class TestRouterAlert:
+    def test_alert_punted_to_handler(self):
+        seen = []
+        instance = RouterAlertPlugin().create_instance(
+            handler=lambda pkt, ctx: seen.append(pkt)
+        )
+        pkt = _v6([OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")])
+        assert instance.process(pkt, PluginContext()) == Verdict.CONTINUE
+        assert seen == [pkt]
+        assert pkt.annotations["router_alert"] is True
+        assert instance.alerts == 1
+
+    def test_no_alert_no_punt(self):
+        seen = []
+        instance = RouterAlertPlugin().create_instance(
+            handler=lambda pkt, ctx: seen.append(pkt)
+        )
+        instance.process(_v6([]), PluginContext())
+        assert seen == []
+
+    def test_handler_optional(self):
+        instance = RouterAlertPlugin().create_instance()
+        pkt = _v6([OptionTLV(OPT_ROUTER_ALERT, b"\x00\x00")])
+        assert instance.process(pkt, PluginContext()) == Verdict.CONTINUE
+
+
+class TestJumbo:
+    def test_valid_jumbogram(self):
+        instance = JumboPlugin().create_instance()
+        pkt = _v6([OptionTLV(OPT_JUMBO, struct.pack("!I", 100_000))])
+        assert instance.process(pkt, PluginContext()) == Verdict.CONTINUE
+        assert pkt.annotations["jumbo_length"] == 100_000
+        assert instance.jumbograms == 1
+
+    def test_short_jumbo_length_dropped(self):
+        instance = JumboPlugin().create_instance()
+        pkt = _v6([OptionTLV(OPT_JUMBO, struct.pack("!I", 1000))])
+        assert instance.process(pkt, PluginContext()) == Verdict.DROP
+        assert instance.malformed == 1
+
+    def test_malformed_option_data_dropped(self):
+        instance = JumboPlugin().create_instance()
+        pkt = _v6([OptionTLV(OPT_JUMBO, b"\x00\x01")])
+        assert instance.process(pkt, PluginContext()) == Verdict.DROP

@@ -1,0 +1,119 @@
+"""Tests for the shared scheduler scaffolding (PacketQueue, base class)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import make_udp
+from repro.sched.base import PacketQueue, SchedulerInstance, SchedulerPlugin
+
+
+def _pkt(size=1000):
+    return make_udp("10.0.0.1", "20.0.0.1", 1, 2, payload_size=size - 28)
+
+
+class TestPacketQueue:
+    def test_push_pop_order(self):
+        queue = PacketQueue()
+        packets = [_pkt() for _ in range(3)]
+        for pkt in packets:
+            assert queue.push(pkt)
+        assert [queue.pop().packet_id for _ in range(3)] == [
+            p.packet_id for p in packets
+        ]
+
+    def test_byte_accounting(self):
+        queue = PacketQueue()
+        queue.push(_pkt(500))
+        queue.push(_pkt(700))
+        assert queue.bytes == 1200
+        queue.pop()
+        assert queue.bytes == 700
+
+    def test_tail_drop_counts(self):
+        queue = PacketQueue(limit=1)
+        assert queue.push(_pkt())
+        assert not queue.push(_pkt())
+        assert queue.drops == 1
+
+    def test_head_peeks_without_removing(self):
+        queue = PacketQueue()
+        pkt = _pkt()
+        queue.push(pkt)
+        assert queue.head() is pkt
+        assert len(queue) == 1
+
+    def test_empty_behaviour(self):
+        queue = PacketQueue()
+        assert queue.pop() is None
+        assert queue.head() is None
+        assert not queue
+        assert len(queue) == 0
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=60))
+    def test_bytes_never_negative(self, ops):
+        queue = PacketQueue(limit=10)
+        for op in ops:
+            if op == "push":
+                queue.push(_pkt())
+            else:
+                queue.pop()
+            assert queue.bytes >= 0
+            assert queue.bytes == sum(p.length for p in queue.packets)
+
+
+class TestSchedulerBase:
+    class _MiniSched(SchedulerInstance):
+        def __init__(self, plugin, **config):
+            super().__init__(plugin, **config)
+            self.queue = PacketQueue(limit=config.get("limit", 2))
+
+        def enqueue(self, packet, ctx):
+            return self.queue.push(packet)
+
+        def dequeue(self, now):
+            pkt = self.queue.pop()
+            if pkt is not None:
+                self._account_sent(pkt)
+            return pkt
+
+        def backlog(self):
+            return len(self.queue)
+
+    class _MiniPlugin(SchedulerPlugin):
+        name = "mini"
+
+    def _instance(self, **config):
+        plugin = self._MiniPlugin()
+        plugin.instance_class = self._MiniSched
+        return plugin.create_instance(**config)
+
+    def test_process_adapts_enqueue(self):
+        sched = self._instance()
+        assert sched.process(_pkt(), PluginContext()) == Verdict.CONSUMED
+        assert sched.packets_queued == 1
+
+    def test_full_queue_drops(self):
+        sched = self._instance(limit=1)
+        sched.process(_pkt(), PluginContext())
+        assert sched.process(_pkt(), PluginContext()) == Verdict.DROP
+        assert sched.packets_dropped == 1
+
+    def test_enqueue_cost_charged(self):
+        from repro.sim.cost import CycleMeter
+
+        sched = self._instance()
+        meter = CycleMeter()
+        sched.process(_pkt(), PluginContext(cycles=meter))
+        assert meter.breakdown()["sched_enqueue"] == sched.enqueue_cost
+
+    def test_sent_accounting(self):
+        sched = self._instance()
+        sched.process(_pkt(800), PluginContext())
+        sched.dequeue(0.0)
+        assert sched.packets_sent == 1
+        assert sched.bytes_sent == 800
+
+    def test_interface_config(self):
+        sched = self._instance(interface="atm3")
+        assert sched.interface == "atm3"

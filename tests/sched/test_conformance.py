@@ -1,0 +1,124 @@
+"""Scheduler conformance battery: invariants every discipline must hold,
+run against FIFO, DRR, SCFQ, and H-FSC through one harness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import make_udp
+from repro.sched import DrrPlugin, FifoPlugin, HfscPlugin, ScfqPlugin, ServiceCurve
+
+
+def _mk_fifo():
+    return FifoPlugin().create_instance(limit=10_000)
+
+
+def _mk_drr():
+    return DrrPlugin().create_instance(limit=10_000)
+
+
+def _mk_scfq():
+    return ScfqPlugin().create_instance(limit=10_000)
+
+
+def _mk_hfsc():
+    sched = HfscPlugin().create_instance()
+    sched.add_class("all", fsc=ServiceCurve.linear(10e6), default=True,
+                    qlimit=10_000)
+    return sched
+
+
+FACTORIES = {
+    "fifo": _mk_fifo,
+    "drr": _mk_drr,
+    "scfq": _mk_scfq,
+    "hfsc": _mk_hfsc,
+}
+
+
+def _pkt(flow, size=800):
+    return make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53,
+                    payload_size=max(0, size - 28))
+
+
+@pytest.fixture(params=list(FACTORIES), ids=list(FACTORIES))
+def sched(request):
+    return FACTORIES[request.param]()
+
+
+class TestConformance:
+    def test_work_conservation(self, sched):
+        """A backlogged scheduler never refuses to dequeue."""
+        for i in range(60):
+            assert sched.process(_pkt(i % 5 + 1), PluginContext()) == Verdict.CONSUMED
+        for remaining in range(60, 0, -1):
+            assert sched.backlog() == remaining
+            assert sched.dequeue(0.0) is not None
+        assert sched.dequeue(0.0) is None
+        assert sched.backlog() == 0
+
+    def test_packet_conservation(self, sched):
+        """Everything accepted comes out exactly once."""
+        sent_ids = set()
+        for i in range(40):
+            pkt = _pkt(i % 3 + 1)
+            if sched.process(pkt, PluginContext()) == Verdict.CONSUMED:
+                sent_ids.add(pkt.packet_id)
+        received = set()
+        while True:
+            pkt = sched.dequeue(0.0)
+            if pkt is None:
+                break
+            assert pkt.packet_id not in received, "duplicate delivery"
+            received.add(pkt.packet_id)
+        assert received == sent_ids
+
+    def test_no_reordering_within_flow(self, sched):
+        rng = random.Random(7)
+        sent = {f: [] for f in (1, 2, 3)}
+        for _ in range(60):
+            flow = rng.randrange(1, 4)
+            pkt = _pkt(flow, size=rng.choice([200, 800, 1400]))
+            sched.process(pkt, PluginContext())
+            sent[flow].append(pkt.packet_id)
+        got = {f: [] for f in (1, 2, 3)}
+        while True:
+            pkt = sched.dequeue(0.0)
+            if pkt is None:
+                break
+            got[pkt.src_port - 5000].append(pkt.packet_id)
+        assert got == sent
+
+    def test_idle_then_busy_cycles(self, sched):
+        """Repeated busy/idle cycles accumulate no phantom state."""
+        for _cycle in range(5):
+            for i in range(10):
+                sched.process(_pkt(i % 2 + 1), PluginContext())
+            drained = 0
+            while sched.dequeue(0.0) is not None:
+                drained += 1
+            assert drained == 10
+            assert sched.backlog() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(list(FACTORIES)),
+    arrivals=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(64, 1500)),
+        min_size=1, max_size=80,
+    ),
+)
+def test_conservation_property(name, arrivals):
+    sched = FACTORIES[name]()
+    accepted = 0
+    for flow, size in arrivals:
+        if sched.process(_pkt(flow, size), PluginContext()) == Verdict.CONSUMED:
+            accepted += 1
+    drained = 0
+    while sched.dequeue(0.0) is not None:
+        drained += 1
+    assert drained == accepted
+    assert sched.backlog() == 0

@@ -1,0 +1,131 @@
+"""Tests for service curves and runtime piecewise-linear curves."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sched.curves import INFINITY, RuntimeCurve, ServiceCurve
+
+
+class TestServiceCurve:
+    def test_linear(self):
+        sc = ServiceCurve.linear(8_000_000)  # 8 Mbit/s == 1 MB/s
+        assert sc.m1 == sc.m2 == 1_000_000
+        assert sc.value(2.0) == 2_000_000
+
+    def test_two_piece(self):
+        sc = ServiceCurve.two_piece(16_000_000, 0.5, 8_000_000)
+        assert sc.is_concave
+        assert sc.value(0.5) == 1_000_000
+        assert sc.value(1.5) == 2_000_000
+
+    def test_delay_bounded(self):
+        sc = ServiceCurve.delay_bounded(1_000_000, burst_bytes=1500, delay=0.01)
+        assert sc.value(0.01) == pytest.approx(1500)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceCurve(-1, 0, 0)
+        with pytest.raises(ValueError):
+            ServiceCurve.delay_bounded(1e6, 100, 0)
+
+
+class TestRuntimeCurve:
+    def test_from_service_curve_translation(self):
+        sc = ServiceCurve.linear(8_000_000)
+        curve = RuntimeCurve.from_service_curve(sc, x=10.0, y=500.0)
+        assert curve.y_at_x(10.0) == 500.0
+        assert curve.y_at_x(11.0) == 500.0 + 1_000_000
+
+    def test_y_clamped_before_start(self):
+        curve = RuntimeCurve.from_service_curve(ServiceCurve.linear(8e6), 5.0, 100.0)
+        assert curve.y_at_x(0.0) == 100.0
+
+    def test_x_at_y_inverse(self):
+        curve = RuntimeCurve.from_service_curve(ServiceCurve.linear(8e6), 0.0, 0.0)
+        assert curve.x_at_y(2_000_000) == pytest.approx(2.0)
+
+    def test_x_at_y_two_piece(self):
+        sc = ServiceCurve.two_piece(16e6, 1.0, 8e6)
+        curve = RuntimeCurve.from_service_curve(sc, 0.0, 0.0)
+        # First 2 MB in the first second, then 1 MB/s.
+        assert curve.x_at_y(1_000_000) == pytest.approx(0.5)
+        assert curve.x_at_y(3_000_000) == pytest.approx(2.0)
+
+    def test_x_at_y_flat_tail_returns_infinity(self):
+        sc = ServiceCurve.two_piece(8e6, 1.0, 0.0)
+        curve = RuntimeCurve.from_service_curve(sc, 0.0, 0.0)
+        assert curve.x_at_y(999_999) < 1.0
+        assert curve.x_at_y(2_000_000) == INFINITY
+
+    def test_x_at_y_below_start(self):
+        curve = RuntimeCurve.from_service_curve(ServiceCurve.linear(8e6), 3.0, 100.0)
+        assert curve.x_at_y(50.0) == 3.0
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            RuntimeCurve().y_at_x(0)
+        with pytest.raises(ValueError):
+            RuntimeCurve().x_at_y(0)
+
+    def test_min_with_on_empty_adopts_curve(self):
+        curve = RuntimeCurve()
+        curve.min_with(ServiceCurve.linear(8e6), 1.0, 10.0)
+        assert curve.y_at_x(1.0) == 10.0
+
+
+class TestPiecewiseMin:
+    def test_min_of_crossing_lines(self):
+        slow_then_level = ServiceCurve.two_piece(8e6, 1.0, 0.0)
+        curve = RuntimeCurve.from_service_curve(slow_then_level, 0.0, 0.0)
+        # A later but steeper curve.
+        curve.min_with(ServiceCurve.linear(16e6), 0.25, 0.0)
+        # Early on, the second curve (starting at 0.25 with y=0) is lower.
+        assert curve.y_at_x(0.25) == 0.0
+        # Late, the first curve's flat tail (1 MB) is the min.
+        assert curve.y_at_x(10.0) == pytest.approx(1_000_000)
+
+    def test_min_is_pointwise_min(self):
+        a = ServiceCurve.two_piece(10e6, 0.4, 2e6)
+        b = ServiceCurve.two_piece(4e6, 1.0, 8e6)
+        curve = RuntimeCurve.from_service_curve(a, 0.0, 0.0)
+        curve.min_with(b, 0.0, 0.0)
+        ra = RuntimeCurve.from_service_curve(a, 0.0, 0.0)
+        rb = RuntimeCurve.from_service_curve(b, 0.0, 0.0)
+        for t in [0.0, 0.1, 0.4, 0.5, 0.9, 1.0, 1.5, 3.0, 10.0]:
+            assert curve.y_at_x(t) == pytest.approx(
+                min(ra.y_at_x(t), rb.y_at_x(t)), rel=1e-9, abs=1e-6
+            )
+
+
+@given(
+    m1a=st.integers(0, 100), da=st.integers(0, 10), m2a=st.integers(0, 100),
+    m1b=st.integers(0, 100), db=st.integers(0, 10), m2b=st.integers(0, 100),
+    xa=st.integers(0, 10), ya=st.integers(0, 1000),
+    xb=st.integers(0, 10), yb=st.integers(0, 1000),
+    probes=st.lists(st.floats(0, 40, allow_nan=False), max_size=8),
+)
+def test_min_with_property(m1a, da, m2a, m1b, db, m2b, xa, ya, xb, yb, probes):
+    sc_a = ServiceCurve(float(m1a), float(da), float(m2a))
+    sc_b = ServiceCurve(float(m1b), float(db), float(m2b))
+    merged = RuntimeCurve.from_service_curve(sc_a, float(xa), float(ya))
+    merged.min_with(sc_b, float(xb), float(yb))
+    ref_a = RuntimeCurve.from_service_curve(sc_a, float(xa), float(ya))
+    ref_b = RuntimeCurve.from_service_curve(sc_b, float(xb), float(yb))
+    for t in probes:
+        expected = min(ref_a.y_at_x(t), ref_b.y_at_x(t))
+        assert merged.y_at_x(t) == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+@given(
+    m1=st.integers(1, 100), d=st.integers(0, 10), m2=st.integers(1, 100),
+    y=st.floats(0, 10000, allow_nan=False),
+)
+def test_x_at_y_then_y_at_x_roundtrip(m1, d, m2, y):
+    curve = RuntimeCurve.from_service_curve(
+        ServiceCurve(float(m1), float(d), float(m2)), 0.0, 0.0
+    )
+    t = curve.x_at_y(y)
+    if not math.isinf(t):
+        assert curve.y_at_x(t) == pytest.approx(max(y, 0.0), rel=1e-9, abs=1e-6)

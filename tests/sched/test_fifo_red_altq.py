@@ -1,0 +1,131 @@
+"""Tests for FIFO, RED, and the ALTQ-WFQ baseline."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import make_udp
+from repro.sched.altq import AltqWfq
+from repro.sched.fifo import FifoPlugin
+from repro.sched.red import RedPlugin
+
+
+def _pkt(flow=1, size=1000):
+    return make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53, payload_size=size - 28)
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        fifo = FifoPlugin().create_instance()
+        packets = [_pkt() for _ in range(4)]
+        for pkt in packets:
+            assert fifo.process(pkt, PluginContext()) == Verdict.CONSUMED
+        out = [fifo.dequeue(0.0) for _ in range(4)]
+        assert [p.packet_id for p in out] == [p.packet_id for p in packets]
+
+    def test_tail_drop(self):
+        fifo = FifoPlugin().create_instance(limit=1)
+        fifo.process(_pkt(), PluginContext())
+        assert fifo.process(_pkt(), PluginContext()) == Verdict.DROP
+
+    def test_backlog(self):
+        fifo = FifoPlugin().create_instance()
+        fifo.process(_pkt(), PluginContext())
+        assert fifo.backlog() == 1
+        fifo.dequeue(0.0)
+        assert fifo.backlog() == 0
+
+
+class TestRed:
+    def test_no_drops_below_min_threshold(self):
+        red = RedPlugin().create_instance(min_th=50, max_th=100)
+        ctx = PluginContext()
+        for _ in range(20):
+            assert red.process(_pkt(), ctx) == Verdict.CONSUMED
+        assert red.early_drops == 0
+
+    def test_early_drops_between_thresholds(self):
+        red = RedPlugin().create_instance(min_th=2, max_th=10, max_p=0.5, ewma_weight=1.0)
+        ctx = PluginContext()
+        outcomes = [red.process(_pkt(), ctx) for _ in range(60)]
+        assert red.early_drops > 0
+        assert Verdict.CONSUMED in outcomes
+
+    def test_forced_drops_above_max_threshold(self):
+        red = RedPlugin().create_instance(min_th=1, max_th=3, ewma_weight=1.0)
+        ctx = PluginContext()
+        for _ in range(30):
+            red.process(_pkt(), ctx)
+        assert red.forced_drops > 0
+        assert red.backlog() <= 4
+
+    def test_avg_tracks_queue(self):
+        red = RedPlugin().create_instance(ewma_weight=1.0, min_th=100, max_th=200)
+        ctx = PluginContext()
+        for _ in range(10):
+            red.process(_pkt(), ctx)
+        assert red.avg == pytest.approx(9.0)  # avg updated before push
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RedPlugin().create_instance(min_th=10, max_th=5)
+        with pytest.raises(ConfigurationError):
+            RedPlugin().create_instance(ewma_weight=0)
+
+    def test_deterministic_with_seed(self):
+        def run():
+            red = RedPlugin().create_instance(min_th=2, max_th=10, ewma_weight=1.0, seed=7)
+            ctx = PluginContext()
+            return [red.process(_pkt(), ctx) for _ in range(40)]
+
+        assert run() == run()
+
+
+class TestAltqWfq:
+    def test_fair_among_hashed_flows(self):
+        altq = AltqWfq(nqueues=256, quantum=1000)
+        for flow in range(1, 5):
+            for _ in range(50):
+                altq.enqueue(_pkt(flow))
+        served = Counter()
+        for _ in range(100):
+            pkt = altq.dequeue()
+            served[pkt.src.value & 0xFF] += 1
+        counts = list(served.values())
+        assert max(counts) - min(counts) <= 2
+
+    def test_collisions_with_few_queues(self):
+        """The ALTQ weakness the paper fixes: distinct flows share queues."""
+        altq = AltqWfq(nqueues=2, quantum=1000)
+        for flow in range(1, 20):
+            altq.enqueue(_pkt(flow))
+        assert altq.collisions > 0
+
+    def test_per_flow_plugin_never_collides(self):
+        from repro.sched.drr import DrrPlugin
+
+        drr = DrrPlugin().create_instance()
+        for flow in range(1, 20):
+            drr.process(_pkt(flow), PluginContext())
+        assert drr.active_flows() == 19
+
+    def test_queue_count_power_of_two(self):
+        with pytest.raises(ValueError):
+            AltqWfq(nqueues=100)
+
+    def test_drops_counted(self):
+        altq = AltqWfq(nqueues=2, quantum=1000, limit=1)
+        for _ in range(5):
+            altq.enqueue(_pkt(1))
+        assert altq.drops > 0
+
+    def test_backlog_and_drain(self):
+        altq = AltqWfq()
+        for _ in range(3):
+            altq.enqueue(_pkt(1))
+        assert altq.backlog() == 3
+        while altq.dequeue():
+            pass
+        assert altq.backlog() == 0

@@ -1,0 +1,275 @@
+"""Behavioural tests for the H-FSC scheduler (experiment E8 backing)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import make_udp
+from repro.sched.curves import ServiceCurve
+from repro.sched.hfsc import HfscPlugin
+from repro.sched.hsf import HsfPlugin
+
+LINK_BPS = 10_000_000       # 10 Mbit/s modelled link
+PKT = 1000                  # bytes per packet
+
+
+def _pkt(flow, size=PKT):
+    return make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53, payload_size=size - 28)
+
+
+def _drain(sched, n, link_bps=LINK_BPS):
+    """Serve n packets, advancing time at the link rate; returns
+    (per-class byte counters, list of (now, packet))."""
+    now = 0.0
+    by_class = Counter()
+    trace = []
+    for _ in range(n):
+        pkt = sched.dequeue(now)
+        if pkt is None:
+            break
+        by_class[pkt.annotations["hfsc_class"]] += pkt.length
+        trace.append((now, pkt))
+        now += pkt.length * 8 / link_bps
+    return by_class, trace
+
+
+def _hfsc(**config):
+    return HfscPlugin().create_instance(**config)
+
+
+class TestHierarchy:
+    def test_add_class_builds_tree(self):
+        sched = _hfsc()
+        a = sched.add_class("A", fsc=ServiceCurve.linear(5e6))
+        b = sched.add_class("B", parent="A", fsc=ServiceCurve.linear(2e6))
+        assert b.parent is a
+        assert not a.is_leaf
+
+    def test_duplicate_class_rejected(self):
+        sched = _hfsc()
+        sched.add_class("A")
+        with pytest.raises(ConfigurationError):
+            sched.add_class("A")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _hfsc().add_class("X", parent="missing")
+
+    def test_enqueue_to_default_class(self):
+        sched = _hfsc()
+        sched.add_class("D", fsc=ServiceCurve.linear(1e6), default=True)
+        assert sched.process(_pkt(1), PluginContext()) == Verdict.CONSUMED
+        assert sched.backlog() == 1
+
+    def test_no_default_class_drops(self):
+        sched = _hfsc()
+        assert sched.process(_pkt(1), PluginContext()) == Verdict.DROP
+
+    def test_enqueue_to_non_leaf_rejected(self):
+        sched = _hfsc()
+        sched.add_class("A", fsc=ServiceCurve.linear(1e6), default=True)
+        sched.add_class("A1", parent="A", fsc=ServiceCurve.linear(1e6))
+        sched.default_class = sched.get_class("A")
+        with pytest.raises(ConfigurationError):
+            sched.process(_pkt(1), PluginContext())
+
+
+class TestLinkSharing:
+    def _two_leaves(self, share_a, share_b):
+        sched = _hfsc()
+        a = sched.add_class("A", fsc=ServiceCurve.linear(share_a), qlimit=1000)
+        b = sched.add_class("B", fsc=ServiceCurve.linear(share_b), qlimit=1000)
+        return sched, a, b
+
+    def _backlog(self, sched, leaf_name, count):
+        leaf = sched.get_class(leaf_name)
+        flow = int(leaf_name == "B") + 1
+        for _ in range(count):
+            pkt = _pkt(flow)
+            assert leaf.queue.push(pkt)
+            sched._backlog += 1
+            if len(leaf.queue) == 1:
+                sched._set_active(leaf, 0.0, pkt.length)
+        # re-push through public API instead would need slots; direct is fine
+
+    def test_equal_shares(self):
+        sched, a, b = self._two_leaves(5e6, 5e6)
+        self._backlog(sched, "A", 200)
+        self._backlog(sched, "B", 200)
+        by_class, _ = _drain(sched, 200)
+        ratio = by_class["A"] / by_class["B"]
+        assert 0.9 <= ratio <= 1.1
+
+    def test_proportional_shares_3_to_1(self):
+        sched, a, b = self._two_leaves(7.5e6, 2.5e6)
+        self._backlog(sched, "A", 400)
+        self._backlog(sched, "B", 400)
+        by_class, _ = _drain(sched, 200)
+        ratio = by_class["A"] / by_class["B"]
+        assert 2.5 <= ratio <= 3.5
+
+    def test_idle_class_excess_goes_to_active(self):
+        sched, a, b = self._two_leaves(5e6, 5e6)
+        self._backlog(sched, "A", 100)
+        by_class, _ = _drain(sched, 100)
+        assert by_class["A"] == 100 * PKT
+        assert by_class["B"] == 0
+
+    def test_hierarchical_sharing(self):
+        """Two 'agencies' split the link 50/50; within agency 1, two
+        classes split 75/25."""
+        sched = _hfsc()
+        sched.add_class("agency1", fsc=ServiceCurve.linear(5e6))
+        sched.add_class("agency2", fsc=ServiceCurve.linear(5e6))
+        sched.add_class("a1.web", parent="agency1", fsc=ServiceCurve.linear(3.75e6), qlimit=1000)
+        sched.add_class("a1.ftp", parent="agency1", fsc=ServiceCurve.linear(1.25e6), qlimit=1000)
+        sched.add_class("a2.all", parent="agency2", fsc=ServiceCurve.linear(5e6), qlimit=1000)
+        for name, flow in [("a1.web", 1), ("a1.ftp", 2), ("a2.all", 3)]:
+            leaf = sched.get_class(name)
+            for _ in range(600):
+                pkt = _pkt(flow)
+                leaf.queue.push(pkt)
+                sched._backlog += 1
+                if len(leaf.queue) == 1:
+                    sched._set_active(leaf, 0.0, pkt.length)
+        by_class, _ = _drain(sched, 400)
+        agency1 = by_class["a1.web"] + by_class["a1.ftp"]
+        assert 0.8 <= agency1 / by_class["a2.all"] <= 1.25
+        assert 2.4 <= by_class["a1.web"] / by_class["a1.ftp"] <= 3.6
+
+
+class TestRealTime:
+    def test_realtime_class_meets_deadline_despite_tiny_share(self):
+        """Delay/bandwidth decoupling: a class with a small bandwidth but
+        a steep first slope gets its packet out early."""
+        sched = _hfsc()
+        # Real-time: first packet within ~2 ms (m1 steep for 2 ms).
+        rt_curve = ServiceCurve.two_piece(4e6, 0.002, 0.1e6)
+        sched.add_class("voice", rsc=rt_curve, fsc=ServiceCurve.linear(0.1e6))
+        sched.add_class("bulk", fsc=ServiceCurve.linear(9.9e6))
+        bulk = sched.get_class("bulk")
+        voice = sched.get_class("voice")
+        for _ in range(500):
+            pkt = _pkt(2)
+            bulk.queue.push(pkt)
+            sched._backlog += 1
+            if len(bulk.queue) == 1:
+                sched._set_active(bulk, 0.0, pkt.length)
+        vp = _pkt(1)
+        voice.queue.push(vp)
+        sched._backlog += 1
+        sched._set_active(voice, 0.0, vp.length)
+        _, trace = _drain(sched, 50)
+        voice_times = [t for t, p in trace if p.annotations["hfsc_class"] == "voice"]
+        assert voice_times, "voice packet never served"
+        # 1000 B at m1=4 Mbit/s -> 2 ms deadline; allow one bulk MTU of
+        # non-preemption slack.
+        assert voice_times[0] <= 0.004
+
+    def test_realtime_flag_annotated(self):
+        sched = _hfsc()
+        rt = ServiceCurve.linear(5e6)
+        sched.add_class("rt", rsc=rt, fsc=ServiceCurve.linear(0.1e6), default=True)
+        sched.process(_pkt(1), PluginContext(now=0.0))
+        pkt = sched.dequeue(0.0)
+        assert pkt.annotations["hfsc_realtime"] is True
+
+    def test_longrun_rt_throughput_tracks_m2_plus_share(self):
+        """The voice class's long-run service is not *below* its rsc m2."""
+        sched = _hfsc()
+        rt_curve = ServiceCurve.two_piece(4e6, 0.002, 1e6)
+        sched.add_class("voice", rsc=rt_curve, fsc=ServiceCurve.linear(0.1e6))
+        sched.add_class("bulk", fsc=ServiceCurve.linear(9.9e6))
+        for name, flow, count in [("voice", 1, 500), ("bulk", 2, 500)]:
+            leaf = sched.get_class(name)
+            for _ in range(count):
+                pkt = _pkt(flow)
+                leaf.queue.push(pkt)
+                sched._backlog += 1
+                if len(leaf.queue) == 1:
+                    sched._set_active(leaf, 0.0, pkt.length)
+        by_class, trace = _drain(sched, 500)
+        elapsed = trace[-1][0]
+        voice_rate_bps = by_class["voice"] * 8 / elapsed
+        assert voice_rate_bps >= 0.9e6  # rsc m2 = 1 Mbit/s guarantee
+
+
+class TestConvexCurves:
+    def test_convex_rsc_limits_early_rate(self):
+        """A convex rsc (m1 < m2) guarantees only a slow start: under
+        contention the class's sustained early service tracks m1, not
+        m2 — the mirror image of the voice case."""
+        sched = _hfsc()
+        convex = ServiceCurve.two_piece(0.5e6, 0.02, 8e6)
+        sched.add_class("deferred", rsc=convex, fsc=ServiceCurve.linear(0.1e6),
+                        qlimit=600)
+        sched.add_class("other", fsc=ServiceCurve.linear(9.9e6), qlimit=600)
+        for name, flow in [("deferred", 1), ("other", 2)]:
+            leaf = sched.get_class(name)
+            for _ in range(500):
+                pkt = _pkt(flow)
+                leaf.queue.push(pkt)
+                sched._backlog += 1
+                if len(leaf.queue) == 1:
+                    sched._set_active(leaf, 0.0, pkt.length)
+        _, trace = _drain(sched, 24)  # first ~19 ms at 10 Mbit/s
+        deferred_bytes = sum(
+            p.length for t, p in trace if p.annotations["hfsc_class"] == "deferred"
+        )
+        # m1 = 0.5 Mbit/s over ~19 ms -> ~1.2 kB of guaranteed service
+        # (plus the tiny 0.1 Mbit/s fsc share): at most a couple of
+        # packets, nowhere near the m2 = 8 Mbit/s it gets later.
+        assert deferred_bytes <= 3 * PKT
+
+    def test_concave_vs_convex_ordering(self):
+        """Same bandwidth envelope, different first slopes -> the
+        concave class's packet leaves first (pure decoupling)."""
+        sched = _hfsc()
+        sched.add_class("fast-start", rsc=ServiceCurve.two_piece(8e6, 0.002, 1e6),
+                        fsc=ServiceCurve.linear(0.1e6))
+        sched.add_class("slow-start", rsc=ServiceCurve.two_piece(0.25e6, 0.002, 1e6),
+                        fsc=ServiceCurve.linear(0.1e6))
+        for name, flow in [("fast-start", 1), ("slow-start", 2)]:
+            leaf = sched.get_class(name)
+            pkt = _pkt(flow)
+            leaf.queue.push(pkt)
+            sched._backlog += 1
+            sched._set_active(leaf, 0.0, pkt.length)
+        _, trace = _drain(sched, 2)
+        order = [p.annotations["hfsc_class"] for _, p in trace]
+        assert order[0] == "fast-start"
+
+
+class TestHsf:
+    def test_drr_leaf_fairness(self):
+        """HSF future work: flows sharing one leaf get DRR fairness."""
+        sched = HsfPlugin().create_instance()
+        sched.add_class(
+            "shared", fsc=ServiceCurve.linear(10e6), leaf_discipline="drr", default=True
+        )
+        ctx = PluginContext(now=0.0)
+        # Flow 1 floods first; flow 2 arrives after.
+        for _ in range(100):
+            sched.process(_pkt(1), ctx)
+        for _ in range(100):
+            sched.process(_pkt(2), ctx)
+        served = Counter()
+        for _ in range(100):
+            pkt = sched.dequeue(0.0)
+            served[pkt.src.value & 0xFF] += 1
+        # FIFO would give flow 1 all 100 slots; DRR interleaves.
+        assert served[2] >= 40
+
+    def test_fifo_leaf_by_default(self):
+        sched = HsfPlugin().create_instance()
+        cls = sched.add_class("plain", fsc=ServiceCurve.linear(1e6))
+        from repro.sched.base import PacketQueue
+
+        assert isinstance(cls.queue, PacketQueue)
+
+    def test_unknown_discipline_rejected(self):
+        sched = HsfPlugin().create_instance()
+        with pytest.raises(ValueError):
+            sched.add_class("x", leaf_discipline="wfq")

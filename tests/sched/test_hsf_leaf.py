@@ -1,0 +1,57 @@
+"""Tests for the HSF DRR leaf-queue adapter."""
+
+import pytest
+
+from repro.net.packet import make_udp
+from repro.sched.hsf import DrrLeafQueue
+
+
+def _pkt(flow=1, size=500):
+    return make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53,
+                    payload_size=size - 28)
+
+
+class TestDrrLeafQueue:
+    def test_push_pop(self):
+        queue = DrrLeafQueue()
+        pkt = _pkt()
+        assert queue.push(pkt)
+        assert len(queue) == 1
+        assert bool(queue)
+        assert queue.pop() is pkt
+        assert not queue
+
+    def test_head_peeks(self):
+        queue = DrrLeafQueue()
+        pkt = _pkt()
+        queue.push(pkt)
+        assert queue.head() is pkt
+        assert len(queue) == 1
+
+    def test_head_empty(self):
+        assert DrrLeafQueue().head() is None
+
+    def test_bytes_accounting(self):
+        queue = DrrLeafQueue()
+        queue.push(_pkt(1, 500))
+        queue.push(_pkt(2, 700))
+        assert queue.bytes == 1200
+
+    def test_drops_at_per_flow_limit(self):
+        queue = DrrLeafQueue(limit=1)
+        assert queue.push(_pkt(1))
+        assert not queue.push(_pkt(1))
+        assert queue.drops == 1
+        # A different flow still gets in (per-flow limits).
+        assert queue.push(_pkt(2))
+
+    def test_interleaves_flows(self):
+        queue = DrrLeafQueue(quantum=500)
+        for _ in range(4):
+            queue.push(_pkt(1))
+        for _ in range(4):
+            queue.push(_pkt(2))
+        order = [queue.pop().src_port - 5000 for _ in range(8)]
+        # DRR alternates rather than draining flow 1 first.
+        assert order != [1, 1, 1, 1, 2, 2, 2, 2]
+        assert sorted(order) == [1, 1, 1, 1, 2, 2, 2, 2]

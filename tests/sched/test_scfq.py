@@ -1,0 +1,157 @@
+"""Tests for the SCFQ scheduler plugin."""
+
+from collections import Counter
+
+import pytest
+
+from repro.aiu.filters import Filter
+from repro.aiu.records import FilterRecord, FlowRecord, GateSlot
+from repro.core.errors import ConfigurationError
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import make_udp
+from repro.sched.scfq import ScfqPlugin
+from repro.stats import jain_fairness
+
+
+def _instance(**config):
+    return ScfqPlugin().create_instance(**config)
+
+
+def _pkt(flow, size=1000):
+    return make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53,
+                    payload_size=size - 28)
+
+
+def _flow_ctx(record=None):
+    slot = GateSlot()
+    slot.filter_record = record
+    flow = FlowRecord(None, 0)
+    flow.slots = [slot]
+    return PluginContext(slot=slot, flow=flow)
+
+
+class TestBasics:
+    def test_enqueue_dequeue(self):
+        scfq = _instance()
+        pkt = _pkt(1)
+        assert scfq.process(pkt, PluginContext()) == Verdict.CONSUMED
+        assert scfq.dequeue(0.0) is pkt
+        assert scfq.backlog() == 0
+
+    def test_fifo_within_flow(self):
+        scfq = _instance()
+        packets = [_pkt(1) for _ in range(5)]
+        for pkt in packets:
+            scfq.process(pkt, PluginContext())
+        out = [scfq.dequeue(0.0) for _ in range(5)]
+        assert [p.packet_id for p in out] == [p.packet_id for p in packets]
+
+    def test_per_flow_limit(self):
+        scfq = _instance(limit=2)
+        ctx = PluginContext()
+        assert scfq.process(_pkt(1), ctx) == Verdict.CONSUMED
+        assert scfq.process(_pkt(1), ctx) == Verdict.CONSUMED
+        assert scfq.process(_pkt(1), ctx) == Verdict.DROP
+        # Other flows are unaffected by one flow's full queue.
+        assert scfq.process(_pkt(2), ctx) == Verdict.CONSUMED
+
+    def test_empty_dequeue(self):
+        assert _instance().dequeue(0.0) is None
+
+    def test_bad_weight_rejected(self):
+        scfq = _instance()
+        record = FilterRecord(Filter.parse("10.*, *"), gate="g")
+        with pytest.raises(ConfigurationError):
+            scfq.set_weight(record, 0)
+
+
+class TestFairness:
+    def test_equal_flows_fair(self):
+        scfq = _instance(limit=200)
+        for flow in range(1, 9):
+            for _ in range(100):
+                scfq.process(_pkt(flow), PluginContext())
+        served = Counter()
+        for _ in range(400):
+            served[scfq.dequeue(0.0).src_port - 5000] += 1
+        assert jain_fairness(served.values()) > 0.99
+
+    def test_weighted_shares(self):
+        scfq = _instance(limit=1000)
+        heavy = FilterRecord(Filter.parse("10.0.0.1, *, UDP"), gate="g")
+        light = FilterRecord(Filter.parse("10.0.0.2, *, UDP"), gate="g")
+        scfq.set_weight(heavy, 3.0)
+        scfq.set_weight(light, 1.0)
+        ctx_h, ctx_l = _flow_ctx(heavy), _flow_ctx(light)
+        for _ in range(800):
+            scfq.process(_pkt(1), ctx_h)
+            scfq.process(_pkt(2), ctx_l)
+        served = Counter()
+        for _ in range(800):
+            pkt = scfq.dequeue(0.0)
+            served[pkt.src_port - 5000] += pkt.length
+        assert 2.6 <= served[1] / served[2] <= 3.4
+
+    def test_byte_fairness_mixed_sizes(self):
+        scfq = _instance(limit=2000)
+        for _ in range(600):
+            scfq.process(_pkt(1, size=1500), PluginContext())
+            scfq.process(_pkt(2, size=300), PluginContext())
+        served = Counter()
+        for _ in range(700):
+            pkt = scfq.dequeue(0.0)
+            served[pkt.src_port - 5000] += pkt.length
+        assert 0.85 <= served[1] / served[2] <= 1.15
+
+    def test_late_flow_not_starved(self):
+        scfq = _instance(limit=500)
+        for _ in range(300):
+            scfq.process(_pkt(1), PluginContext())
+        for _ in range(300):
+            scfq.process(_pkt(2), PluginContext())
+        served = Counter()
+        for _ in range(200):
+            served[scfq.dequeue(0.0).src_port - 5000] += 1
+        # The newcomer starts at the current virtual time and interleaves.
+        assert served[2] >= 80
+
+
+class TestIdleReset:
+    def test_idle_flow_gets_no_backlog_penalty(self):
+        scfq = _instance()
+        for _ in range(5):
+            scfq.process(_pkt(1), PluginContext())
+        while scfq.dequeue(0.0):
+            pass
+        # Re-activating after idle: served immediately, not behind a
+        # stale virtual-time debt.
+        scfq.process(_pkt(1), PluginContext())
+        assert scfq.dequeue(0.0) is not None
+
+    def test_slot_soft_state(self):
+        scfq = _instance()
+        ctx = _flow_ctx()
+        scfq.process(_pkt(1), ctx)
+        from repro.sched.scfq import ScfqFlowState
+
+        assert isinstance(ctx.slot.private, ScfqFlowState)
+        scfq.on_flow_removed(ctx.flow, ctx.slot)
+        assert ctx.slot.private is None
+
+
+class TestMessages:
+    def test_reserve_message(self):
+        from repro.core.messages import Message
+
+        plugin = ScfqPlugin()
+        instance = plugin.create_instance()
+        record = FilterRecord(Filter.parse("10.*, *"), gate="g")
+        plugin.callback(Message("reserve", {
+            "instance": instance, "record": record, "rate_bps": 4_000_000,
+        }))
+        assert instance.weight_for(record) == 4.0
+
+    def test_in_plugin_registry(self):
+        from repro.mgr import PLUGIN_REGISTRY
+
+        assert PLUGIN_REGISTRY["scfq"] is ScfqPlugin

@@ -1,0 +1,173 @@
+"""Tests for the hardware-crypto-offload ESP plugin and daemon
+robustness against malformed control traffic."""
+
+import json
+
+import pytest
+
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import Packet, make_udp
+from repro.security import (
+    EspPlugin,
+    HwEspPlugin,
+    SADatabase,
+    SecurityAssociation,
+)
+from repro.sim.cost import Costs, CycleMeter
+
+SA_ARGS = dict(auth_key=b"a" * 16, encryption_key=b"e" * 16,
+               mode="tunnel", tunnel_src="192.0.2.1", tunnel_dst="192.0.2.2")
+
+
+def _pair(plugin_class):
+    sadb = SADatabase()
+    sadb.add(SecurityAssociation(spi=0x700, **SA_ARGS))
+    plugin = plugin_class()
+    out = plugin.create_instance(direction="out",
+                                 sa=SecurityAssociation(spi=0x700, **SA_ARGS))
+    inbound = plugin.create_instance(direction="in", sadb=sadb)
+    return out, inbound
+
+
+def _pkt(size=1000):
+    return make_udp("10.1.0.5", "10.2.0.9", 4000, 80, payload_size=size - 28)
+
+
+class TestHwOffload:
+    def test_output_identical_to_software(self):
+        sw_out, _ = _pair(EspPlugin)
+        hw_out, _ = _pair(HwEspPlugin)
+        sw_pkt, hw_pkt = _pkt(), _pkt()
+        sw_out.process(sw_pkt, PluginContext())
+        hw_out.process(hw_pkt, PluginContext())
+        # Same SPI/sequence/keys -> byte-identical ESP output.
+        assert sw_pkt.payload == hw_pkt.payload
+        assert sw_pkt.dst == hw_pkt.dst
+
+    def test_hw_and_sw_interoperate(self):
+        hw_out, _ = _pair(HwEspPlugin)
+        _, sw_in = _pair(EspPlugin)
+        pkt = _pkt()
+        original = pkt.five_tuple()
+        hw_out.process(pkt, PluginContext())
+        assert sw_in.process(pkt, PluginContext()) == Verdict.CONTINUE
+        assert pkt.five_tuple() == original
+
+    def test_software_cost_scales_with_size(self):
+        out, _ = _pair(EspPlugin)
+        small, big = CycleMeter(), CycleMeter()
+        out.process(_pkt(200), PluginContext(cycles=small))
+        out.process(_pkt(4000), PluginContext(cycles=big))
+        assert big.breakdown()["sw_crypto"] > 10 * small.breakdown()["sw_crypto"]
+
+    def test_hardware_cost_is_flat(self):
+        out, _ = _pair(HwEspPlugin)
+        small, big = CycleMeter(), CycleMeter()
+        out.process(_pkt(200), PluginContext(cycles=small))
+        out.process(_pkt(4000), PluginContext(cycles=big))
+        assert small.breakdown()["hw_crypto"] == big.breakdown()["hw_crypto"] == Costs.HW_CRYPTO_SETUP
+        assert out.offloaded == 2
+
+    def test_hardware_wins_beyond_crossover(self):
+        """Fixed setup beats per-byte work for any realistic packet."""
+        sw_out, _ = _pair(EspPlugin)
+        hw_out, _ = _pair(HwEspPlugin)
+        sw, hw = CycleMeter(), CycleMeter()
+        sw_out.process(_pkt(1000), PluginContext(cycles=sw))
+        hw_out.process(_pkt(1000), PluginContext(cycles=hw))
+        assert hw.breakdown()["hw_crypto"] < sw.breakdown()["sw_crypto"]
+
+    def test_latency_annotation(self):
+        hw_out, _ = _pair(HwEspPlugin)
+        pkt = _pkt()
+        hw_out.process(pkt, PluginContext())
+        assert pkt.annotations["hw_crypto_latency"] == 10e-6
+
+    def test_inbound_offload_counts(self):
+        hw_out, hw_in = _pair(HwEspPlugin)
+        pkt = _pkt()
+        hw_out.process(pkt, PluginContext())
+        meter = CycleMeter()
+        hw_in.process(pkt, PluginContext(cycles=meter))
+        assert hw_in.offloaded == 1
+        assert "hw_crypto" in meter.breakdown()
+
+    def test_registry_entry(self):
+        from repro.mgr import PLUGIN_REGISTRY
+
+        assert PLUGIN_REGISTRY["hwesp"] is HwEspPlugin
+
+
+class TestDaemonRobustness:
+    def _router_with_daemon(self, daemon_class, proto):
+        from repro.core import Router
+
+        router = Router(flow_buckets=64)
+        router.add_interface("atm0", address="10.0.0.254", prefix="10.0.0.0/8")
+        daemon = daemon_class(router, neighbors={})
+        return router, daemon
+
+    @pytest.mark.parametrize("payload", [
+        b"not json at all",
+        b"\xff\xfe\x00garbage",
+        json.dumps({"no_op_field": 1}).encode(),
+        json.dumps(["a", "list"]).encode(),
+        json.dumps({"op": "bogus"}).encode(),
+    ])
+    def test_ssp_survives_garbage(self, payload):
+        from repro.daemons import SSPDaemon
+        from repro.net.headers import PROTO_SSP
+
+        router, daemon = self._router_with_daemon(SSPDaemon, PROTO_SSP)
+        pkt = Packet(
+            src=make_udp("10.0.0.1", "10.0.0.254", 1, 2).src,
+            dst=make_udp("10.0.0.1", "10.0.0.254", 1, 2).dst,
+            protocol=PROTO_SSP,
+            payload=payload,
+            iif="atm0",
+        )
+        router.receive(pkt)
+        assert daemon.malformed == 1
+        assert daemon.reservations == {}
+
+    def test_rsvp_survives_garbage(self):
+        from repro.daemons import RSVPDaemon
+        from repro.net.headers import PROTO_RSVP
+
+        router, daemon = self._router_with_daemon(RSVPDaemon, PROTO_RSVP)
+        pkt = Packet(
+            src=make_udp("10.0.0.1", "10.0.0.254", 1, 2).src,
+            dst=make_udp("10.0.0.1", "10.0.0.254", 1, 2).dst,
+            protocol=PROTO_RSVP,
+            payload=b"{bad json",
+            iif="atm0",
+        )
+        router.receive(pkt)
+        assert daemon.malformed == 1
+
+    def test_rsvp_resv_for_unknown_session_counted(self):
+        from repro.daemons import RSVPDaemon
+        from repro.net.headers import PROTO_RSVP
+
+        router, daemon = self._router_with_daemon(RSVPDaemon, PROTO_RSVP)
+        pkt = Packet(
+            src=make_udp("10.0.0.1", "10.0.0.254", 1, 2).src,
+            dst=make_udp("10.0.0.1", "10.0.0.254", 1, 2).dst,
+            protocol=PROTO_RSVP,
+            payload=json.dumps({"op": "resv", "session": "ghost",
+                                "flowspec": "*", "rate_bps": 1}).encode(),
+            iif="atm0",
+        )
+        router.receive(pkt)
+        assert daemon.malformed == 1
+
+    def test_routed_survives_garbage(self):
+        from repro.daemons import RouteDaemon
+        from repro.daemons.routed import RIP_PORT
+
+        router, daemon = self._router_with_daemon(RouteDaemon, None)
+        pkt = make_udp("10.0.0.1", "10.0.0.254", RIP_PORT, RIP_PORT, iif="atm0")
+        pkt.payload = b"][ not json"
+        router.receive(pkt)
+        assert daemon.malformed == 1
+        assert len(router.routing_table) == 1  # just the connected route

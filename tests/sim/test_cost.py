@@ -1,0 +1,99 @@
+"""Tests for the cycle / memory-access cost model."""
+
+import pytest
+
+from repro.sim.cost import (
+    CPU_HZ,
+    CYCLES_PER_MEMORY_ACCESS,
+    Costs,
+    CycleMeter,
+    MemoryMeter,
+    NULL_METER,
+    cycles_to_us,
+    memory_accesses_to_us,
+    us_to_cycles,
+)
+
+
+class TestConversions:
+    def test_paper_anchor_6460_cycles_is_27_73_us(self):
+        # Table 3 row 1: 6460 cycles == 27.73 us on the P6/233.
+        assert cycles_to_us(6460) == pytest.approx(27.73, abs=0.01)
+
+    def test_us_to_cycles_inverse(self):
+        assert us_to_cycles(cycles_to_us(12345)) == pytest.approx(12345)
+
+    def test_memory_access_conversion(self):
+        # Table 2: 24 accesses * 60 ns = 1.44 us ~ the paper's "1.4 us".
+        assert memory_accesses_to_us(24) == pytest.approx(1.44)
+
+    def test_memory_access_cycles_consistent(self):
+        # 60 ns at 233 MHz is ~14 cycles.
+        assert CYCLES_PER_MEMORY_ACCESS == round(60e-9 * CPU_HZ)
+
+
+class TestCalibration:
+    def test_best_effort_path_sums_to_table3_row1(self):
+        assert Costs.BEST_EFFORT_PATH == 6460
+
+    def test_flow_hash_is_papers_17_cycles(self):
+        assert Costs.FLOW_HASH == 17
+
+
+class TestCycleMeter:
+    def test_charges_accumulate(self):
+        meter = CycleMeter()
+        meter.charge(100, "rx")
+        meter.charge(50, "rx")
+        meter.charge(25, "tx")
+        assert meter.total == 175
+        assert meter.breakdown() == {"rx": 150, "tx": 25}
+
+    def test_charge_memory(self):
+        meter = CycleMeter()
+        meter.charge_memory(2, "lookup")
+        assert meter.total == 2 * Costs.MEMORY_ACCESS
+
+    def test_microseconds(self):
+        meter = CycleMeter()
+        meter.charge(233)  # 233 cycles at 233 MHz is exactly 1 us
+        assert meter.microseconds == pytest.approx(1.0)
+
+    def test_reset(self):
+        meter = CycleMeter()
+        meter.charge(10)
+        meter.reset()
+        assert meter.total == 0
+        assert meter.breakdown() == {}
+
+
+class TestMemoryMeter:
+    def test_counts_accesses(self):
+        meter = MemoryMeter()
+        meter.access(3, "dag")
+        meter.access(1, "hash")
+        assert meter.accesses == 4
+        assert meter.breakdown() == {"dag": 3, "hash": 1}
+
+    def test_mirrors_into_cycle_meter(self):
+        cycles = CycleMeter()
+        meter = MemoryMeter(cycle_meter=cycles, label="classify")
+        meter.access(2)
+        assert cycles.total == 2 * Costs.MEMORY_ACCESS
+        assert cycles.breakdown() == {"classify": 2 * Costs.MEMORY_ACCESS}
+
+    def test_reset(self):
+        meter = MemoryMeter()
+        meter.access(5)
+        meter.reset()
+        assert meter.accesses == 0
+
+
+class TestNullMeter:
+    def test_accepts_everything_and_stays_zero(self):
+        NULL_METER.access(10)
+        NULL_METER.charge(10)
+        NULL_METER.charge_memory(10)
+        assert NULL_METER.accesses == 0
+        assert NULL_METER.total == 0
+        assert NULL_METER.breakdown() == {}

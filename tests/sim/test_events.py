@@ -1,0 +1,104 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, order.append, "b")
+        loop.schedule(1.0, order.append, "a")
+        loop.schedule(3.0, order.append, "c")
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        order = []
+        for label in "abc":
+            loop.schedule(1.0, order.append, label)
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(1.5, lambda: times.append(loop.now))
+        loop.run_until_idle()
+        assert times == [1.5]
+        assert loop.now == 1.5
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule(1.0, lambda: seen.append("second"))
+
+        loop.schedule(1.0, first)
+        loop.run_until_idle()
+        assert seen == ["first", "second"]
+        assert loop.now == 2.0
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run_until_idle()
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, fired.append, "x")
+        event.cancel()
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        assert loop.pending == 1
+        event.cancel()
+        assert loop.pending == 0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "early")
+        loop.schedule(5.0, fired.append, "late")
+        loop.run(until=2.0)
+        assert fired == ["early"]
+        assert loop.now == 2.0
+        loop.run_until_idle()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        loop = EventLoop()
+        loop.run(until=7.0)
+        assert loop.now == 7.0
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def respawn():
+            loop.schedule(0.001, respawn)
+
+        loop.schedule(0.0, respawn)
+        with pytest.raises(RuntimeError):
+            loop.run_until_idle(max_events=100)
+
+    def test_step_returns_false_when_idle(self):
+        assert EventLoop().step() is False

@@ -1,0 +1,80 @@
+"""Additional event-loop and curve edge cases."""
+
+import pytest
+
+from repro.sched.curves import RuntimeCurve, ServiceCurve
+from repro.sim.events import Event, EventLoop
+
+
+class TestEventMisc:
+    def test_call_soon_runs_at_current_time(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run_until_idle()
+        fired = []
+        loop.call_soon(lambda: fired.append(loop.now))
+        loop.run_until_idle()
+        assert fired == [5.0]
+
+    def test_event_repr_states(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        assert "pending" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)
+
+    def test_events_run_counter(self):
+        loop = EventLoop()
+        for _ in range(3):
+            loop.schedule(1.0, lambda: None)
+        loop.run_until_idle()
+        assert loop.events_run == 3
+
+    def test_loop_repr(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        assert "pending=1" in repr(loop)
+
+    def test_ordering_is_stable_under_cancel(self):
+        loop = EventLoop()
+        order = []
+        first = loop.schedule(1.0, order.append, "a")
+        loop.schedule(1.0, order.append, "b")
+        loop.schedule(1.0, order.append, "c")
+        first.cancel()
+        loop.run_until_idle()
+        assert order == ["b", "c"]
+
+
+class TestCurveMisc:
+    def test_segments_introspection(self):
+        curve = RuntimeCurve.from_service_curve(
+            ServiceCurve.two_piece(16e6, 1.0, 8e6), 2.0, 100.0
+        )
+        segments = curve.segments()
+        assert len(segments) == 2
+        assert segments[0][0] == 2.0
+        assert segments[0][1] == 100.0
+        assert segments[1][0] == 3.0
+
+    def test_linear_curve_single_segment(self):
+        curve = RuntimeCurve.from_service_curve(ServiceCurve.linear(8e6), 0.0, 0.0)
+        assert len(curve.segments()) == 1
+
+    def test_is_concave(self):
+        assert ServiceCurve.two_piece(10e6, 1, 1e6).is_concave
+        assert not ServiceCurve.two_piece(1e6, 1, 10e6).is_concave
+        assert not ServiceCurve.linear(5e6).is_concave
+
+    def test_value_at_breakpoint(self):
+        sc = ServiceCurve.two_piece(16e6, 0.5, 8e6)
+        # Continuous at the knee.
+        assert sc.value(0.5) == pytest.approx(sc.m1 * 0.5)
+
+    def test_min_with_same_curve_is_identity(self):
+        sc = ServiceCurve.two_piece(16e6, 1.0, 8e6)
+        curve = RuntimeCurve.from_service_curve(sc, 0.0, 0.0)
+        curve.min_with(sc, 0.0, 0.0)
+        reference = RuntimeCurve.from_service_curve(sc, 0.0, 0.0)
+        for t in (0.0, 0.5, 1.0, 2.0, 10.0):
+            assert curve.y_at_x(t) == pytest.approx(reference.y_at_x(t))

@@ -1,0 +1,116 @@
+"""Tests for the statistics plugin and the metrics helpers."""
+
+import pytest
+
+from repro.core.messages import Message
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import make_tcp, make_udp
+from repro.stats import (
+    RateMeter,
+    StatisticsPlugin,
+    jain_fairness,
+    percentile,
+    share_error,
+    summarize,
+)
+
+
+def _pkt(flow=1, size=1000):
+    return make_udp(f"10.0.0.{flow}", "20.0.0.1", 5000 + flow, 53, payload_size=size - 28)
+
+
+class TestStatisticsPlugin:
+    def test_volume_collector(self):
+        stats = StatisticsPlugin().create_instance()
+        ctx = PluginContext()
+        for _ in range(3):
+            assert stats.process(_pkt(1), ctx) == Verdict.CONTINUE
+        stats.process(_pkt(2), ctx)
+        totals = stats.totals()
+        assert totals["flows"] == 2
+        assert totals["packets"] == 4
+        assert totals["bytes"] == 4000
+
+    def test_swappable_collector(self):
+        stats = StatisticsPlugin().create_instance()
+        ctx = PluginContext()
+        stats.process(_pkt(1, size=100), ctx)
+        stats.set_collector("sizes")
+        stats.process(_pkt(1, size=100), ctx)
+        stats.process(_pkt(1, size=1000), ctx)
+        report = stats.report()
+        record = next(iter(report.values()))
+        assert record["packets"] == 1          # volume stopped counting
+        assert sum(record["size_bins"].values()) == 2
+
+    def test_protocol_collector(self):
+        stats = StatisticsPlugin().create_instance(collector="protocols")
+        ctx = PluginContext()
+        stats.process(_pkt(1), ctx)
+        stats.process(make_tcp("10.0.0.1", "20.0.0.1", 5001, 80), ctx)
+        report = stats.report()
+        protos = [dict(r["protocols"]) for r in report.values()]
+        merged = {}
+        for p in protos:
+            merged.update(p)
+        assert merged.get("UDP") == 1
+        assert merged.get("TCP") == 1
+
+    def test_report_message(self):
+        plugin = StatisticsPlugin()
+        stats = plugin.create_instance()
+        stats.process(_pkt(1), PluginContext())
+        report = plugin.callback(Message("report", {"instance": stats}))
+        assert len(report) == 1
+
+    def test_set_collector_message(self):
+        plugin = StatisticsPlugin()
+        stats = plugin.create_instance()
+        plugin.callback(Message("set_collector", {"instance": stats, "collector": "sizes"}))
+        assert stats.collector_name == "sizes"
+
+
+class TestMetrics:
+    def test_jain_perfectly_fair(self):
+        assert jain_fairness([10, 10, 10, 10]) == pytest.approx(1.0)
+
+    def test_jain_worst_case(self):
+        assert jain_fairness([100, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert set(summary) == {"mean", "stddev", "min", "p50", "p99", "max"}
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_share_error(self):
+        served = {"a": 75, "b": 25}
+        weights = {"a": 3, "b": 1}
+        assert share_error(served, weights) == pytest.approx(0.0)
+        served_bad = {"a": 50, "b": 50}
+        assert share_error(served_bad, weights) > 0.3
+
+    def test_rate_meter(self):
+        meter = RateMeter()
+        meter.observe(1000, at_time=0.0)
+        meter.observe(1000, at_time=1.0)
+        assert meter.bps == pytest.approx(16000)
+        assert meter.pps == pytest.approx(2.0)
+
+    def test_rate_meter_empty(self):
+        assert RateMeter().bps == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the TCP congestion-backoff monitor plugin."""
+
+import pytest
+
+from repro.core.messages import Message
+from repro.core.plugin import PluginContext, Verdict
+from repro.net.packet import Packet, make_tcp, make_udp
+from repro.stats import TcpMonitorPlugin
+
+
+def _seg(seq, now=0.0):
+    pkt = make_tcp("10.0.0.1", "20.0.0.1", 5000, 80, payload_size=100, seq=seq)
+    return pkt, PluginContext(now=now)
+
+
+@pytest.fixture
+def monitor():
+    return TcpMonitorPlugin().create_instance()
+
+
+class TestSegmentTracking:
+    def test_in_order_segments_no_retransmissions(self, monitor):
+        for i, seq in enumerate([100, 200, 300, 400]):
+            pkt, ctx = _seg(seq, now=0.01 * i)
+            assert monitor.process(pkt, ctx) == Verdict.CONTINUE
+        state = next(iter(monitor.report().values()))
+        assert state.segments == 4
+        assert state.retransmissions == 0
+        assert state.retransmission_rate == 0.0
+
+    def test_retransmission_detected(self, monitor):
+        for i, seq in enumerate([100, 200, 200, 300]):
+            pkt, ctx = _seg(seq, now=0.01 * i)
+            monitor.process(pkt, ctx)
+        state = next(iter(monitor.report().values()))
+        assert state.retransmissions == 1
+
+    def test_old_segment_counts_as_retransmission(self, monitor):
+        for i, seq in enumerate([100, 300, 200]):
+            pkt, ctx = _seg(seq, now=0.01 * i)
+            monitor.process(pkt, ctx)
+        state = next(iter(monitor.report().values()))
+        assert state.retransmissions == 1
+
+    def test_non_tcp_ignored(self, monitor):
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 5000, 53)
+        assert monitor.process(pkt, PluginContext()) == Verdict.CONTINUE
+        assert monitor.non_tcp_ignored == 1
+        assert monitor.report() == {}
+
+    def test_flows_tracked_separately(self, monitor):
+        a, ctx = _seg(100)
+        monitor.process(a, ctx)
+        b = make_tcp("10.0.0.2", "20.0.0.1", 5001, 80, seq=100)
+        monitor.process(b, PluginContext())
+        assert len(monitor.report()) == 2
+
+
+class TestBackoffClassification:
+    def _drive(self, monitor, schedule):
+        """schedule: list of (seq, time)."""
+        for seq, now in schedule:
+            pkt, ctx = _seg(seq, now=now)
+            monitor.process(pkt, ctx)
+
+    def test_responsive_flow_backs_off(self, monitor):
+        # Tight spacing, a loss, then much wider spacing: responsive.
+        schedule = [(100, 0.00), (200, 0.01), (200, 0.02),
+                    (300, 0.30), (400, 0.60)]
+        self._drive(monitor, schedule)
+        assert monitor.unresponsive_flows() == []
+
+    def test_unresponsive_flow_flagged(self, monitor):
+        # Retransmits constantly with no change in pacing.
+        schedule = [(100 * i if i % 3 else 100, 0.01 * i) for i in range(1, 40)]
+        self._drive(monitor, schedule)
+        assert len(monitor.unresponsive_flows()) == 1
+
+    def test_clean_flow_never_flagged(self, monitor):
+        schedule = [(100 * i, 0.01 * i) for i in range(1, 40)]
+        self._drive(monitor, schedule)
+        assert monitor.unresponsive_flows() == []
+
+
+class TestIntegration:
+    def test_soft_state_in_flow_slot(self, monitor):
+        from repro.aiu.records import FlowRecord, GateSlot
+
+        slot = GateSlot()
+        flow = FlowRecord(None, 0)
+        flow.slots = [slot]
+        pkt, _ = _seg(100)
+        monitor.process(pkt, PluginContext(slot=slot, flow=flow))
+        from repro.stats import TcpFlowState
+
+        assert isinstance(slot.private, TcpFlowState)
+
+    def test_report_message(self):
+        plugin = TcpMonitorPlugin()
+        instance = plugin.create_instance()
+        pkt, ctx = _seg(100)
+        instance.process(pkt, ctx)
+        report = plugin.callback(Message("report", {"instance": instance}))
+        assert len(report) == 1
+        assert plugin.callback(Message("unresponsive", {"instance": instance})) == []
+
+    def test_parsed_wire_packets_carry_seq(self):
+        pkt = make_tcp("10.0.0.1", "20.0.0.1", 5000, 80, payload_size=4)
+        parsed = Packet.parse(pkt.serialize())
+        assert "tcp_seq" in parsed.annotations
+
+    def test_through_router_gate(self):
+        from repro.core import Router
+
+        router = Router(flow_buckets=256)
+        router.add_interface("atm0", prefix="10.0.0.0/8")
+        router.add_interface("atm1", prefix="20.0.0.0/8")
+        plugin = TcpMonitorPlugin()
+        router.pcu.load(plugin)
+        instance = plugin.create_instance()
+        plugin.register_instance(instance, "*, *, TCP", gate="ip_options")
+        for i, seq in enumerate([100, 200, 200, 300]):
+            pkt = make_tcp("10.0.0.1", "20.0.0.1", 5000, 80, seq=seq, iif="atm0")
+            router.receive(pkt, now=0.01 * i)
+        state = next(iter(instance.report().values()))
+        assert state.segments == 4
+        assert state.retransmissions == 1

@@ -1,0 +1,96 @@
+"""Tests for pcap trace writing/reading/replay."""
+
+import struct
+
+import pytest
+
+from repro.core import Router
+from repro.net.packet import make_tcp, make_udp
+from repro.workloads import (
+    PcapError,
+    bursty_arrivals,
+    read_pcap,
+    replay_into,
+    synthetic_flows,
+    write_pcap,
+)
+
+
+def _packets():
+    return [
+        make_udp("10.0.0.1", "20.0.0.1", 5000, 53, payload_size=64),
+        make_tcp("10.0.0.2", "20.0.0.1", 5001, 80, payload_size=32),
+        make_udp("2001:db8::1", "2001:db8::2", 6000, 53, payload_size=16),
+    ]
+
+
+class TestRoundtrip:
+    def test_write_and_read(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        packets = _packets()
+        for i, packet in enumerate(packets):
+            packet.arrival_time = 1.5 * i
+        assert write_pcap(path, packets) == 3
+        trace = read_pcap(path)
+        assert len(trace) == 3
+        for (timestamp, parsed), original in zip(trace, packets):
+            assert parsed.five_tuple() == original.five_tuple()
+            assert timestamp == pytest.approx(original.arrival_time, abs=1e-6)
+
+    def test_timed_pairs(self, tmp_path):
+        path = tmp_path / "timed.pcap"
+        write_pcap(path, [(0.25, _packets()[0])])
+        ((timestamp, _packet),) = read_pcap(path)
+        assert timestamp == pytest.approx(0.25, abs=1e-6)
+
+    def test_timed_workload_roundtrip(self, tmp_path):
+        path = tmp_path / "burst.pcap"
+        schedule = bursty_arrivals(synthetic_flows(4, seed=2), 5, 2, seed=2)
+        write_pcap(path, [(t.time, t.packet) for t in schedule])
+        trace = read_pcap(path)
+        assert len(trace) == len(schedule)
+        times = [t for t, _ in trace]
+        assert times == sorted(times)
+
+    def test_global_header_is_standard(self, tmp_path):
+        path = tmp_path / "hdr.pcap"
+        write_pcap(path, [])
+        data = path.read_bytes()
+        magic, major, minor = struct.unpack("!IHH", data[:8])
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xa1\xb2")
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "cut.pcap"
+        write_pcap(path, _packets()[:1])
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+
+class TestReplay:
+    def test_replay_into_router(self, tmp_path):
+        path = tmp_path / "replay.pcap"
+        packets = [make_udp("10.0.0.1", "20.0.0.1", 5000 + i, 53) for i in range(5)]
+        write_pcap(path, [(0.1 * i, p) for i, p in enumerate(packets)])
+        router = Router(flow_buckets=64)
+        router.add_interface("atm0", prefix="10.0.0.0/8")
+        router.add_interface("atm1", prefix="20.0.0.0/8")
+        count = replay_into(router, read_pcap(path), iif="atm0")
+        assert count == 5
+        assert router.interface("atm1").tx_packets == 5
