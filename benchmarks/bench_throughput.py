@@ -1,0 +1,210 @@
+"""Wall-clock throughput benchmark for the forwarding data path.
+
+Unlike the ``bench_fig_*`` / ``bench_table*`` experiments, which report
+*modelled* cycles on the paper's P6/233, this benchmark measures real
+Python packets-per-second on three workloads:
+
+* ``cached_hit`` — a warmed flow cache; every packet takes the paper's
+  fast path (one hash, a few indirections).
+* ``cache_miss`` — every packet is a brand new flow; each takes the slow
+  path (hash, miss, per-gate filter lookup, flow install).
+* ``gates3`` — the Table 3 row-2 setup: a warmed cache plus an empty
+  plugin bound at all three gates, so every packet makes three indirect
+  plugin calls.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py                 # full run
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick         # CI-sized
+    PYTHONPATH=src python benchmarks/bench_throughput.py --save-baseline # record pre-PR pps
+
+``--save-baseline`` writes ``benchmarks/baseline_throughput.json`` (the
+numbers measured at the seed commit live there, committed).  A normal
+run measures the current tree, compares against the stored baseline, and
+writes ``BENCH_throughput.json`` at the repo root with both series and
+the speedup per workload.
+
+The cost model is untouched by wall-clock optimisations — modelled
+cycles are asserted bit-identical by ``tests/perf/test_cost_invariance``
+(see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.gates import DEFAULT_GATES
+from repro.core.plugin import Plugin, PluginInstance, TYPE_IP_SECURITY
+from repro.core.router import Router
+from repro.net.addresses import IPAddress
+from repro.net.headers import PROTO_UDP
+from repro.net.packet import Packet
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "baseline_throughput.json")
+OUTPUT_PATH = os.path.join(HERE, "..", "BENCH_throughput.json")
+
+FLOWS = 64          # distinct flows in the cached workloads
+PAYLOAD = b"\x00" * 64
+
+
+class _EmptyPlugin(Plugin):
+    plugin_type = TYPE_IP_SECURITY
+    name = "bench-empty"
+    instance_class = PluginInstance
+
+
+def build_router(with_gate_plugins: bool = False) -> Router:
+    router = Router(name="bench", gates=DEFAULT_GATES)
+    router.add_interface("atm0", prefix="10.0.0.0/8")
+    router.add_interface("atm1", prefix="20.0.0.0/8")
+    if with_gate_plugins:
+        plugin = _EmptyPlugin()
+        router.pcu.load(plugin)
+        instance = plugin.create_instance()
+        for gate in DEFAULT_GATES:
+            plugin.register_instance(instance, "*, *, UDP", gate=gate)
+    return router
+
+
+def _flow_addresses(count: int):
+    return [
+        (
+            IPAddress.parse(f"10.0.{i // 200}.{i % 200 + 1}"),
+            IPAddress.parse(f"20.0.{i // 200}.{i % 200 + 1}"),
+            5000 + i,
+        )
+        for i in range(count)
+    ]
+
+
+def make_cached_packets(n: int, flows=None):
+    """``n`` packets round-robinning over ``FLOWS`` distinct flows."""
+    flows = flows or _flow_addresses(FLOWS)
+    count = len(flows)
+    return [
+        Packet(
+            src=flows[i % count][0],
+            dst=flows[i % count][1],
+            protocol=PROTO_UDP,
+            src_port=flows[i % count][2],
+            dst_port=9000,
+            iif="atm0",
+            payload=PAYLOAD,
+        )
+        for i in range(n)
+    ]
+
+
+def make_miss_packets(n: int):
+    """``n`` packets, every one a brand-new five-tuple."""
+    src = IPAddress.parse("10.0.0.1")
+    dst = IPAddress.parse("20.0.0.1")
+    return [
+        Packet(
+            src=src,
+            dst=dst,
+            protocol=PROTO_UDP,
+            src_port=(i % 60000) + 1024,
+            dst_port=(i // 60000) + 1024,
+            iif="atm0",
+            payload=PAYLOAD,
+        )
+        for i in range(n)
+    ]
+
+
+def _time_pass(router: Router, packets, use_batch: bool) -> float:
+    receive_batch = getattr(router, "receive_batch", None)
+    start = time.perf_counter()
+    if use_batch and receive_batch is not None:
+        receive_batch(packets)
+    else:
+        receive = router.receive
+        for packet in packets:
+            receive(packet)
+    return time.perf_counter() - start
+
+
+def run_workload(name: str, n: int, reps: int, use_batch: bool) -> float:
+    """Best-of-``reps`` packets/second for one workload."""
+    best = 0.0
+    for _ in range(reps):
+        if name == "cache_miss":
+            router = build_router()           # fresh table: every packet misses
+            packets = make_miss_packets(n)
+        else:
+            router = build_router(with_gate_plugins=(name == "gates3"))
+            for warm in make_cached_packets(FLOWS):
+                router.receive(warm)
+            packets = make_cached_packets(n)
+        elapsed = _time_pass(router, packets, use_batch)
+        expected = (
+            router.counters["forwarded"] - (0 if name == "cache_miss" else FLOWS)
+        )
+        if expected != n:
+            raise RuntimeError(f"{name}: forwarded {expected} of {n} packets")
+        best = max(best, n / elapsed)
+    return best
+
+
+def measure(quick: bool, use_batch: bool) -> dict:
+    n = 5_000 if quick else 30_000
+    reps = 2 if quick else 4
+    return {
+        name: round(run_workload(name, n, reps, use_batch), 1)
+        for name in ("cached_hit", "cache_miss", "gates3")
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--save-baseline",
+        action="store_true",
+        help="record the current tree's pps as the pre-PR baseline",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="measure per-packet receive() even when receive_batch exists",
+    )
+    args = parser.parse_args(argv)
+
+    results = measure(args.quick, use_batch=not args.no_batch)
+    if args.save_baseline:
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump({"pps": results, "quick": args.quick}, fh, indent=2)
+        print(f"baseline saved to {BASELINE_PATH}: {results}")
+        return 0
+
+    baseline = None
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)["pps"]
+    report = {
+        "workloads": ["cached_hit", "cache_miss", "gates3"],
+        "packets_per_second": results,
+        "baseline_packets_per_second": baseline,
+    }
+    if baseline:
+        report["speedup"] = {
+            name: round(results[name] / baseline[name], 2)
+            for name in results
+            if baseline.get(name)
+        }
+    with open(OUTPUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

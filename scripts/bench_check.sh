@@ -1,0 +1,29 @@
+#!/bin/sh
+# One-shot performance gate: run the tier-1 test suite (which includes
+# the cost-model invariance tests in tests/perf/), then the CI-sized
+# throughput benchmark, writing BENCH_throughput.json at the repo root.
+#
+# Usage: scripts/bench_check.sh [--full]
+#   --full   run the full-sized benchmark instead of --quick
+#
+# Exits non-zero if the tests fail (including any modelled-cycle drift
+# caught by tests/perf/test_cost_invariance.py) or the benchmark fails
+# its internal forwarded-packet sanity checks.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH_ARGS="--quick"
+if [ "${1:-}" = "--full" ]; then
+    BENCH_ARGS=""
+fi
+
+echo "== tier-1 tests (incl. cost-model invariance) =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "== throughput benchmark =="
+# shellcheck disable=SC2086  # intentional word splitting of BENCH_ARGS
+PYTHONPATH=src python benchmarks/bench_throughput.py $BENCH_ARGS
+
+echo "== done: see BENCH_throughput.json =="

@@ -95,6 +95,11 @@ class AIU:
         # Ablation knob: with the cache off, every packet takes the full
         # n-gate filter classification (benchmarks/bench_ablation_*).
         self.use_flow_cache = use_flow_cache
+        # Fast-path plan support: how many filters are installed at each
+        # gate, and an epoch counter bumped on any filter add/remove so
+        # the router can cache its active-gate plan (see Router).
+        self._gate_filter_counts: Dict[str, int] = {g: 0 for g in self.gates}
+        self.plan_epoch = 0
 
     # ------------------------------------------------------------------
     # Gate bookkeeping
@@ -153,6 +158,8 @@ class AIU:
             for table in installed:
                 table.remove(record)
             raise
+        self._gate_filter_counts[gate] += 1
+        self.plan_epoch += 1
         # Live reconfiguration: cached flows the new filter could claim
         # must re-classify, or they would keep their old bindings until
         # cache expiry.  O(cached flows) on the control path.
@@ -181,17 +188,26 @@ class AIU:
         if removed:
             self.flow_table.invalidate_filter(record)
             record.active = False
+            self._gate_filter_counts[record.gate] -= 1
+            self.plan_epoch += 1
         return removed
 
+    def active_gates(self) -> Tuple[str, ...]:
+        """Gates that currently have at least one filter installed, in
+        gate order — the input to the router's fast-path plan."""
+        return tuple(g for g in self.gates if self._gate_filter_counts[g])
+
     def filters(self, gate: Optional[str] = None) -> List[FilterRecord]:
-        seen: List[FilterRecord] = []
+        # A family-wildcard filter appears in both per-family tables;
+        # dedup by identity with an insertion-ordered dict (the previous
+        # `record not in seen` list scan was O(n²) over 50k filters).
+        seen: Dict[int, FilterRecord] = {}
         for (table_gate, _w), table in self._tables.items():
             if gate is not None and table_gate != gate:
                 continue
             for record in table.records():
-                if record not in seen:
-                    seen.append(record)
-        return seen
+                seen.setdefault(id(record), record)
+        return list(seen.values())
 
     def filter_count(self, gate: Optional[str] = None) -> int:
         return len(self.filters(gate))
@@ -230,9 +246,9 @@ class AIU:
         if install:
             record = self.flow_table.install(packet, now)
         else:
-            from .filters import FlowKey
+            from .filters import flow_key_of
 
-            record = FlowRecord(FlowKey.of(packet), len(self.gates), now)
+            record = FlowRecord(flow_key_of(packet), len(self.gates), now)
         for gate_name in self.gates:
             table = self._tables.get((gate_name, width))
             slot = record.slot(self._gate_index[gate_name])

@@ -19,7 +19,17 @@ from typing import Optional, Tuple
 
 from ..net.addresses import IPV4_WIDTH, IPV6_WIDTH, Prefix
 from ..net.headers import protocol_number
-from ..net.packet import Packet
+from ..net.packet import Packet, fold_five_tuple
+
+
+def flow_key_of(packet: Packet) -> "FlowKey":
+    """Packet → FlowKey with per-packet caching: the key is computed at
+    most once per packet lifetime (cache dropped with ``packet.fix = None``)."""
+    key = packet._flow_key
+    if key is None:
+        key = FlowKey.of(packet)
+        packet._flow_key = key
+    return key
 
 PORT_MAX = 65535
 
@@ -260,7 +270,7 @@ class Filter:
         return f"<{self.src}, {self.dst}, {proto}, {self.sport}, {self.dport}, {iif}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowKey:
     """A fully-specified flow identity — a flow-table key.
 
@@ -292,16 +302,11 @@ class FlowKey:
     def hash_index(self, mask: int) -> int:
         """The paper's cheap fold-and-mask hash (17 cycles on a Pentium).
 
-        XOR-folds the five-tuple into 32 bits, then masks to the bucket
-        array size (``mask`` = buckets - 1, buckets a power of two).
+        XOR-folds the five-tuple into 32 bits (``fold_five_tuple``, shared
+        with the per-packet hash cache), then masks to the bucket array
+        size (``mask`` = buckets - 1, buckets a power of two).
         """
-        folded = self.src ^ self.dst
-        # Fold 128-bit addresses down to 32 bits.
-        while folded >> 32:
-            folded = (folded & 0xFFFFFFFF) ^ (folded >> 32)
-        folded ^= (self.protocol << 24) ^ (self.sport << 12) ^ self.dport
-        folded ^= folded >> 16
-        return folded & mask
+        return fold_five_tuple(self.src, self.dst, self.protocol, self.sport, self.dport) & mask
 
     def matches_packet(self, packet: Packet) -> bool:
         """Full six-tuple confirmation (§3.2: a flow table entry

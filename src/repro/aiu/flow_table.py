@@ -25,7 +25,7 @@ from typing import Callable, Iterator, List, Optional
 
 from ..net.packet import Packet
 from ..sim.cost import Costs, NULL_METER
-from .filters import FlowKey
+from .filters import FlowKey, flow_key_of
 from .records import FilterRecord, FlowRecord
 
 DEFAULT_BUCKETS = 32768
@@ -53,7 +53,9 @@ class FlowTable:
         self.use_flow_label = use_flow_label
         self.gate_count = gate_count
         self._mask = buckets - 1
-        self._buckets: List[List[FlowRecord]] = [[] for _ in range(buckets)]
+        # Bucket heads; collision chains are intrusive (hash_prev /
+        # hash_next threaded through the FlowRecords themselves).
+        self._buckets: List[Optional[FlowRecord]] = [None] * buckets
         self.max_records = max_records
         self._allocated = 0
         self._next_growth = initial_records
@@ -132,41 +134,67 @@ class FlowTable:
     # Data path
     # ------------------------------------------------------------------
     def _index_for(self, packet: Packet, cycles=NULL_METER) -> int:
+        """Bucket index for a packet, using its cached 32-bit fold.
+
+        The *modelled* hash cost (``FLOW_HASH`` / ``FLOW_LABEL_HASH``) is
+        charged on every call — the paper's hardware folds the header each
+        time — while the Python fold itself is computed at most once per
+        packet lifetime (see :class:`repro.net.packet.Packet`).
+        """
         if self.use_flow_label and packet.is_ipv6 and packet.flow_label:
             cycles.charge(Costs.FLOW_LABEL_HASH, "flow_hash")
-            folded = packet.src.value ^ packet.flow_label
-            while folded >> 32:
-                folded = (folded & 0xFFFFFFFF) ^ (folded >> 32)
-            folded ^= folded >> 16
-            return folded & self._mask
+            return packet.flow_label_fold32() & self._mask
         cycles.charge(Costs.FLOW_HASH, "flow_hash")
-        return FlowKey.of(packet).hash_index(self._mask)
+        return packet.flow_fold32() & self._mask
 
     def lookup(self, packet: Packet, meter=NULL_METER, cycles=NULL_METER, now: float = 0.0) -> Optional[FlowRecord]:
         """Find the cached flow record for a packet (the fast path)."""
         index = self._index_for(packet, cycles)
         meter.access(1, "flow_bucket")
-        chain = self._buckets[index]
-        for record in chain:
+        record = self._buckets[index]
+        while record is not None:
             meter.access(1, "flow_chain")
             if record.key.matches_packet(packet):
                 record.touch(now, packet.length)
-                self._lru_touch(record)
+                if self._lru_head is not record:
+                    self._lru_touch(record)
                 self.hits += 1
                 return record
+            record = record.hash_next
         self.misses += 1
         return None
 
     def install(self, packet: Packet, now: float = 0.0) -> FlowRecord:
-        """Create (and index) a fresh record for the packet's flow."""
-        key = FlowKey.of(packet)
+        """Create (and index) a fresh record for the packet's flow.
+
+        A cache miss therefore folds the five-tuple once in total: both
+        the preceding :meth:`lookup` and this call read the fold cached
+        on the packet (and ``FLOW_HASH`` is charged once, by the lookup —
+        the paper's accounting).
+        """
+        key = flow_key_of(packet)
         record = self._allocate(key, now)
         index = self._index_for(packet)
         record.bucket = index
-        self._buckets[index].append(record)
+        self._chain_append(index, record)
         self._lru_push_front(record)
         self.active += 1
         return record
+
+    def _chain_append(self, index: int, record: FlowRecord) -> None:
+        """Append to the bucket's intrusive chain, preserving the
+        oldest-first order the list-based chains had."""
+        record.hash_next = None
+        head = self._buckets[index]
+        if head is None:
+            record.hash_prev = None
+            self._buckets[index] = record
+            return
+        tail = head
+        while tail.hash_next is not None:
+            tail = tail.hash_next
+        tail.hash_next = record
+        record.hash_prev = tail
 
     # ------------------------------------------------------------------
     # Removal / eviction
@@ -177,7 +205,15 @@ class FlowTable:
         for slot in record.slots:
             if slot.filter_record is not None:
                 slot.filter_record.flows.discard(record)
-        self._buckets[record.bucket].remove(record)
+        # O(1) intrusive unlink (previously an O(chain) list.remove).
+        prev, nxt = record.hash_prev, record.hash_next
+        if prev is not None:
+            prev.hash_next = nxt
+        else:
+            self._buckets[record.bucket] = nxt
+        if nxt is not None:
+            nxt.hash_prev = prev
+        record.hash_prev = record.hash_next = None
         self._lru_unlink(record)
         self.active -= 1
 
@@ -222,8 +258,18 @@ class FlowTable:
         return self._allocated
 
     def chain_length(self, packet: Packet) -> int:
-        """Collision-chain length for a packet's bucket (diagnostics)."""
-        return len(self._buckets[FlowKey.of(packet).hash_index(self._mask)])
+        """Collision-chain length for a packet's bucket (diagnostics).
+
+        Uses :meth:`_index_for`, so IPv6 flow-label mode reports the
+        bucket the data path actually probes (it previously always used
+        the five-tuple hash, pointing diagnostics at the wrong chain).
+        """
+        count = 0
+        record = self._buckets[self._index_for(packet)]
+        while record is not None:
+            count += 1
+            record = record.hash_next
+        return count
 
     def stats(self) -> dict:
         return {

@@ -96,6 +96,10 @@ class FlowRecord:
         "bucket",
         "lru_prev",
         "lru_next",
+        "hash_prev",
+        "hash_next",
+        "route",
+        "route_version",
     )
 
     def __init__(self, key: FlowKey, gate_count: int, now: float = 0.0):
@@ -108,6 +112,16 @@ class FlowRecord:
         self.bucket: Optional[int] = None
         self.lru_prev: Optional["FlowRecord"] = None
         self.lru_next: Optional["FlowRecord"] = None
+        # Intrusive hash-chain linkage: collision chains are threaded
+        # through the records themselves, so unlinking on evict is O(1)
+        # pointer surgery instead of an O(chain) list.remove.
+        self.hash_prev: Optional["FlowRecord"] = None
+        self.hash_next: Optional["FlowRecord"] = None
+        # Per-flow route memo for the fast path, revalidated against
+        # RoutingTable.version (the metered path always does the real
+        # lookup, whose modelled ROUTE_LOOKUP cost is the spec).
+        self.route: Optional[object] = None
+        self.route_version: int = -1
 
     def reinit(self, key: FlowKey, gate_count: int, now: float) -> None:
         """Reset a recycled record for a new flow (free-list reuse, §5.2)."""
@@ -120,6 +134,10 @@ class FlowRecord:
         self.bucket = None
         self.lru_prev = None
         self.lru_next = None
+        self.hash_prev = None
+        self.hash_next = None
+        self.route = None
+        self.route_version = -1
 
     def slot(self, gate_index: int) -> GateSlot:
         return self.slots[gate_index]

@@ -85,7 +85,14 @@ class Verdict:
 
 @dataclass
 class PluginContext:
-    """Everything a plugin instance may need while processing a packet."""
+    """Everything a plugin instance may need while processing a packet.
+
+    Contract: a context is only valid for the duration of the
+    ``process(packet, ctx)`` call it was passed to.  The batched fast
+    path (``Router.receive_batch``) pools one context per gate and
+    mutates it between packets, so plugins must not retain a reference
+    across calls — copy out whatever they need instead.
+    """
 
     router: Any = None
     gate: Optional[str] = None

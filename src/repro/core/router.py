@@ -104,6 +104,30 @@ class Router:
         self._icmp_limiter = IcmpRateLimiter()
         #: Optional per-packet walk recorder (see repro.core.tracing).
         self.tracer = None
+        # --- Fast-path plan (docs/PERFORMANCE.md) -------------------
+        # Static gate geometry: the pre-routing gates in order, gate ->
+        # slot index, and whether the special gates are configured.
+        self._gate_indices: Dict[str, int] = {
+            g: i for i, g in enumerate(self.gates)
+        }
+        self._pre_gates: Tuple[str, ...] = tuple(
+            g for g in self.gates
+            if g not in (GATE_PACKET_SCHEDULING, GATE_ROUTING)
+        )
+        self._first_pre_gate: Optional[str] = (
+            self._pre_gates[0] if self._pre_gates else None
+        )
+        self._has_routing_gate = GATE_ROUTING in self.gates
+        self._has_sched_gate = GATE_PACKET_SCHEDULING in self.gates
+        # Dynamic part, rebuilt when the AIU's filter set changes: the
+        # ordered (gate, index) pairs that actually have filters.
+        self._plan_epoch = -1
+        self._plan_pre_active: Tuple[Tuple[str, int], ...] = ()
+        self._plan_routing_active = False
+        self._plan_sched_active = False
+        # Pooled per-gate contexts for receive_batch (reused between
+        # packets; see PluginContext's contract).
+        self._ctx_pool: Dict[str, PluginContext] = {}
 
     # ------------------------------------------------------------------
     # Topology / configuration
@@ -174,11 +198,227 @@ class Router:
     # Data path
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, now: float = 0.0, cycles=NULL_METER) -> str:
-        """Run one packet through the full data path (§3.2)."""
+        """Run one packet through the full data path (§3.2).
+
+        Two equivalent implementations back this call.  The *metered*
+        path (`_receive`) is the specification: it charges every modelled
+        cycle and memory access and is used whenever a real meter or a
+        tracer is attached.  The *fast* path is a wall-clock
+        specialization taken when nothing observes the walk — it skips
+        gates with no installed filters and all no-op meter calls, but
+        produces identical dispositions, counters, and flow-table state
+        (asserted by tests/perf/).
+        """
+        if cycles is NULL_METER and self.tracer is None:
+            self._refresh_plan()
+            return self._receive_fast(packet, now, None)
         disposition = self._receive(packet, now, cycles)
         if self.tracer is not None:
             self.tracer.on_done(packet, disposition)
         return disposition
+
+    def receive_batch(
+        self, packets: Sequence[Packet], now: float = 0.0, cycles=NULL_METER
+    ) -> List[str]:
+        """Run a batch of packets; returns one disposition per packet.
+
+        Semantically identical to calling :meth:`receive` in sequence
+        (property-tested), but the invariant lookups — tracer check,
+        active-gate plan, context setup — are hoisted out of the
+        per-packet loop and one :class:`PluginContext` per gate is pooled
+        and reused across the batch.
+        """
+        if cycles is not NULL_METER or self.tracer is not None:
+            return [self.receive(p, now=now, cycles=cycles) for p in packets]
+        self._refresh_plan()
+        fast = self._receive_fast
+        pool = self._ctx_pool
+        return [fast(packet, now, pool) for packet in packets]
+
+    # ------------------------------------------------------------------
+    # Fast path (wall-clock specialization; modelled costs unchanged)
+    # ------------------------------------------------------------------
+    def _refresh_plan(self) -> None:
+        """Rebuild the active-gate plan if filters changed (cheap epoch
+        compare; AIU bumps ``plan_epoch`` on create/remove filter)."""
+        epoch = self.aiu.plan_epoch
+        if epoch == self._plan_epoch:
+            return
+        counts = self.aiu._gate_filter_counts
+        self._plan_pre_active = tuple(
+            (g, self._gate_indices[g]) for g in self._pre_gates if counts[g]
+        )
+        self._plan_routing_active = (
+            self._has_routing_gate and counts[GATE_ROUTING] > 0
+        )
+        self._plan_sched_active = (
+            self._has_sched_gate and counts[GATE_PACKET_SCHEDULING] > 0
+        )
+        self._plan_epoch = epoch
+
+    def _receive_fast(self, packet: Packet, now: float, ctx_pool) -> str:
+        self.counters["rx"] += 1
+
+        # Classification is anchored where the metered path performs it:
+        # the first gate the packet encounters.  Gates with no filters
+        # are then skipped entirely — their modelled GATE_CHECK/FIX
+        # charges only exist on the metered path, where they are still
+        # charged for every configured gate.
+        if packet._fix is None and self._first_pre_gate is not None:
+            self.aiu.classify(packet, self._first_pre_gate, now=now)
+        for gate, gate_index in self._plan_pre_active:
+            verdict, _instance = self._gate_fast(
+                packet, gate, gate_index, now, None, ctx_pool
+            )
+            if verdict == Verdict.DROP:
+                self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
+                return Disposition.DROPPED_BY_PLUGIN
+            if verdict == Verdict.CONSUMED:
+                self.counters[Disposition.CONSUMED] += 1
+                return Disposition.CONSUMED
+
+        if packet.dst.is_multicast:
+            return self._multicast_forward(packet, now, NULL_METER)
+        if packet.dst in self.local_addresses:
+            return self._deliver_local(packet, now)
+        if packet.ttl <= 1:
+            self.counters[Disposition.DROPPED_TTL] += 1
+            self._send_icmp(time_exceeded(packet, self._icmp_source(packet)), now)
+            return Disposition.DROPPED_TTL
+
+        route = self._route_fast(packet, now, ctx_pool)
+        if route is None:
+            self.counters[Disposition.DROPPED_NO_ROUTE] += 1
+            self._send_icmp(
+                destination_unreachable(packet, self._icmp_source(packet)), now
+            )
+            return Disposition.DROPPED_NO_ROUTE
+
+        packet.ttl -= 1
+        return self._output_fast(packet, route.interface, now, ctx_pool)
+
+    def _gate_fast(
+        self,
+        packet: Packet,
+        gate: str,
+        gate_index: int,
+        now: float,
+        oif: Optional[str],
+        ctx_pool,
+    ) -> Tuple[str, Optional[object]]:
+        """The gate macro without meters: FIX fetch, indirect call."""
+        record: Optional[FlowRecord] = packet._fix
+        if record is None:
+            instance, record = self.aiu.classify(packet, gate, now=now)
+        else:
+            instance = record.slots[gate_index].instance
+        if instance is None:
+            return Verdict.CONTINUE, None
+        if ctx_pool is not None:
+            ctx = ctx_pool.get(gate)
+            if ctx is None:
+                ctx = PluginContext(router=self, gate=gate)
+                ctx_pool[gate] = ctx
+            ctx.now = now
+            ctx.cycles = NULL_METER
+            ctx.slot = record.slots[gate_index]
+            ctx.flow = record
+            ctx.out_interface = oif
+        else:
+            ctx = PluginContext(
+                router=self,
+                gate=gate,
+                now=now,
+                slot=record.slots[gate_index],
+                flow=record,
+                out_interface=oif,
+            )
+        try:
+            return instance.process(packet, ctx), instance
+        except Exception:
+            self.counters["plugin_faults"] += 1
+            return Verdict.DROP, instance
+
+    def _route_fast(self, packet: Packet, now: float, ctx_pool) -> Optional[Route]:
+        if self._has_routing_gate:
+            if self._plan_routing_active:
+                verdict, _ = self._gate_fast(
+                    packet, GATE_ROUTING, self._gate_indices[GATE_ROUTING],
+                    now, None, ctx_pool,
+                )
+                if verdict == Verdict.DROP:
+                    return None
+                route = packet.annotations.get("route")
+                if route is not None:
+                    return route
+            elif packet._fix is None:
+                # The metered path would classify here (first gate hit).
+                self.aiu.classify(packet, GATE_ROUTING, now=now)
+        table = self.routing_table
+        record: Optional[FlowRecord] = packet._fix
+        if record is not None:
+            # Per-flow route memo: the destination is part of the flow
+            # key, so the memo is exact; a version mismatch (any route
+            # add/remove) falls back to the real longest-prefix match.
+            if record.route_version == table.version and record.route is not None:
+                return record.route
+            route = table.lookup(packet.dst)
+            if route is not None:
+                record.route = route
+                record.route_version = table.version
+            return route
+        return table.lookup(packet.dst)
+
+    def _output_fast(self, packet: Packet, oif: str, now: float, ctx_pool) -> str:
+        iface = self.interfaces.get(oif)
+        if iface is None:
+            self.counters[Disposition.DROPPED_NO_ROUTE] += 1
+            return Disposition.DROPPED_NO_ROUTE
+        if packet.length > iface.mtu:
+            # Rare path (ICMP errors / fragmentation): the metered
+            # implementation handles it; meters are no-ops here.
+            return self._output(packet, oif, now, NULL_METER)
+
+        if self._has_sched_gate or oif in self._schedulers:
+            instance = None
+            if self._has_sched_gate and (
+                self._plan_sched_active or packet._fix is None
+            ):
+                verdict, instance = self._gate_fast(
+                    packet,
+                    GATE_PACKET_SCHEDULING,
+                    self._gate_indices[GATE_PACKET_SCHEDULING],
+                    now,
+                    oif,
+                    ctx_pool,
+                )
+                if verdict == Verdict.DROP:
+                    self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
+                    return Disposition.DROPPED_BY_PLUGIN
+                if verdict == Verdict.CONSUMED:
+                    self._schedulers.setdefault(oif, instance)
+                    self._kick(oif, now)
+                    self.counters[Disposition.QUEUED] += 1
+                    return Disposition.QUEUED
+            if instance is None and oif in self._schedulers:
+                scheduler = self._schedulers[oif]
+                if scheduler is not None:
+                    ctx = PluginContext(
+                        router=self, gate=GATE_PACKET_SCHEDULING, now=now,
+                        out_interface=oif,
+                    )
+                    verdict = scheduler.process(packet, ctx)
+                    if verdict == Verdict.CONSUMED:
+                        self._kick(oif, now)
+                        self.counters[Disposition.QUEUED] += 1
+                        return Disposition.QUEUED
+                    if verdict == Verdict.DROP:
+                        self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
+                        return Disposition.DROPPED_BY_PLUGIN
+
+        iface.output(packet, now)
+        self.counters[Disposition.FORWARDED] += 1
+        return Disposition.FORWARDED
 
     def _receive(self, packet: Packet, now: float, cycles) -> str:
         cycles.charge(Costs.DRIVER_RX, "driver_rx")

@@ -34,12 +34,44 @@ from .headers import (
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+def fold_five_tuple(src: int, dst: int, protocol: int, sport: int, dport: int) -> int:
+    """The paper's 17-cycle fold of the five-tuple into 32 bits.
+
+    Shared by :meth:`repro.aiu.filters.FlowKey.hash_index` and the
+    per-packet hash cache so both always agree bit-for-bit; callers mask
+    the result down to the bucket-array size.
+    """
+    folded = src ^ dst
+    # Fold 128-bit addresses down to 32 bits.
+    while folded >> 32:
+        folded = (folded & 0xFFFFFFFF) ^ (folded >> 32)
+    folded ^= (protocol << 24) ^ (sport << 12) ^ dport
+    folded ^= folded >> 16
+    return folded
+
+
+def fold_flow_label(src: int, flow_label: int) -> int:
+    """The cheaper (src, IPv6 flow label) fold (``FLOW_LABEL_HASH``)."""
+    folded = src ^ flow_label
+    while folded >> 32:
+        folded = (folded & 0xFFFFFFFF) ^ (folded >> 32)
+    folded ^= folded >> 16
+    return folded
+
+
+@dataclass(slots=True)
 class Packet:
     """A routed datagram plus its mbuf metadata.
 
     Transport ports are 0 for protocols without ports; the classifier
     treats them as exact values, matching the paper's six-tuple model.
+
+    The flow index (``fix``) and the derived classification caches
+    (flow key, five-tuple hash, total length) share one lifecycle:
+    assigning ``packet.fix = None`` — the established "this is now a
+    different flow" signal used by the interfaces on delivery and by the
+    IPsec plugins after en/decapsulation — also drops every cache, so a
+    packet folds its five-tuple exactly once per hop.
     """
 
     src: IPAddress
@@ -55,15 +87,48 @@ class Packet:
     hop_options: List[OptionTLV] = field(default_factory=list)
 
     # mbuf metadata — not part of the wire format.
-    fix: Optional[Any] = None          # flow index: AIU flow-table row handle
     arrival_time: float = 0.0
     departure_time: Optional[float] = None
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     annotations: Dict[str, Any] = field(default_factory=dict)
 
+    # Fast-path caches (see class docstring).  ``_flow_key`` is written
+    # by the AIU layer (a cached repro.aiu.filters.FlowKey); the folds
+    # and length are computed here.
+    _fix: Optional[Any] = field(default=None, init=False, repr=False, compare=False)
+    _flow_key: Optional[Any] = field(default=None, init=False, repr=False, compare=False)
+    _flow_fold: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    _label_fold: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    _length: int = field(default=-1, init=False, repr=False, compare=False)
+    _length_payload: int = field(default=-1, init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.src.width != self.dst.width:
             raise ValueError("src/dst address family mismatch")
+
+    # ------------------------------------------------------------------
+    # Flow index + cache lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def fix(self) -> Optional[Any]:
+        """Flow index: the AIU flow-table row handle (mbuf metadata)."""
+        return self._fix
+
+    @fix.setter
+    def fix(self, value: Optional[Any]) -> None:
+        self._fix = value
+        if value is None:
+            # The packet is (potentially) a different flow now: drop the
+            # derived caches so the next classification recomputes them.
+            self._flow_key = None
+            self._flow_fold = None
+            self._label_fold = None
+            self._length = -1
+
+    def invalidate_flow_cache(self) -> None:
+        """Drop cached classification state after mutating the five-tuple,
+        incoming interface, or headers.  Equivalent to ``fix = None``."""
+        self.fix = None
 
     # ------------------------------------------------------------------
     # Classification views
@@ -90,6 +155,28 @@ class Packet:
         """The paper's filter six-tuple, with the incoming interface."""
         return self.five_tuple() + (self.iif,)
 
+    def flow_fold32(self) -> int:
+        """The 32-bit five-tuple fold, computed once per packet lifetime."""
+        fold = self._flow_fold
+        if fold is None:
+            fold = fold_five_tuple(
+                self.src.value,
+                self.dst.value,
+                self.protocol,
+                self.src_port,
+                self.dst_port,
+            )
+            self._flow_fold = fold
+        return fold
+
+    def flow_label_fold32(self) -> int:
+        """The 32-bit (src, flow label) fold, cached like the five-tuple."""
+        fold = self._label_fold
+        if fold is None:
+            fold = fold_flow_label(self.src.value, self.flow_label)
+            self._label_fold = fold
+        return fold
+
     # ------------------------------------------------------------------
     # Sizes
     # ------------------------------------------------------------------
@@ -110,8 +197,20 @@ class Packet:
 
     @property
     def length(self) -> int:
-        """Total datagram length in bytes."""
-        return self.header_length + len(self.payload)
+        """Total datagram length in bytes.
+
+        Cached: the data path reads this several times per packet (MTU
+        check, serialization delay, byte counters).  The cache revalidates
+        against the payload length and is dropped with ``fix = None``, so
+        transforms that change headers (IPsec) recompute it.
+        """
+        payload_len = len(self.payload)
+        if self._length >= 0 and payload_len == self._length_payload:
+            return self._length
+        value = self.header_length + payload_len
+        self._length = value
+        self._length_payload = payload_len
+        return value
 
     # ------------------------------------------------------------------
     # Wire format

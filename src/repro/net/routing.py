@@ -78,6 +78,10 @@ class RoutingTable:
         self._lpm_factory = lpm_factory
         self._engines: Dict[int, object] = {}
         self._routes: Dict[Prefix, Route] = {}
+        #: Bumped on every add/remove; per-flow route memos (the router's
+        #: fast path) revalidate against it, so no stale route survives
+        #: a table change.
+        self.version = 0
 
     def _engine(self, width: int):
         if width not in self._engines:
@@ -99,6 +103,7 @@ class RoutingTable:
         route = Route(prefix, next_hop, interface, metric)
         self._routes[prefix] = route
         self._engine(prefix.width).insert(prefix, route)
+        self.version += 1
         return route
 
     def remove(self, prefix) -> bool:
@@ -108,6 +113,7 @@ class RoutingTable:
             return False
         del self._routes[prefix]
         self._engine(prefix.width).remove(prefix)
+        self.version += 1
         return True
 
     def lookup(self, dst) -> Optional[Route]:

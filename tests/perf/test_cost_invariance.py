@@ -1,0 +1,95 @@
+"""The cost model is the spec: modelled cycles must never drift.
+
+``tests/perf/golden_costs.json`` was captured at the seed commit, before
+any wall-clock optimisation existed.  These tests re-measure the same
+scenarios and assert the cycle totals *and* per-label breakdowns (and the
+raw memory-access counts for the flow table) are bit-identical.  Any
+fast-path change that alters a modelled number fails here — wall-clock
+speedups must be invisible to the meters.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.gates import DEFAULT_GATES
+from repro.core.plugin import Plugin, PluginInstance, TYPE_IP_SECURITY
+from repro.core.router import Router
+from repro.kernels import build_besteffort_kernel
+from repro.net.packet import make_udp
+from repro.sim.cost import CycleMeter, MemoryMeter
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_costs.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _packet():
+    return make_udp("10.0.0.1", "20.0.0.1", 5000, 9000, payload_size=64, iif="atm0")
+
+
+def _two_iface_router(name):
+    router = Router(name=name, gates=DEFAULT_GATES)
+    router.add_interface("atm0", prefix="10.0.0.0/8")
+    router.add_interface("atm1", prefix="20.0.0.0/8")
+    return router
+
+
+class _EmptyPlugin(Plugin):
+    plugin_type = TYPE_IP_SECURITY
+    name = "empty"
+    instance_class = PluginInstance
+
+
+def _assert_matches(meter: CycleMeter, expected: dict) -> None:
+    assert meter.total == expected["total"]
+    assert meter.breakdown() == expected["breakdown"]
+
+
+def test_best_effort_path_cycles(golden):
+    """Table 3 row 1: the unmodified best-effort kernel (6460 cycles)."""
+    kernel = build_besteffort_kernel()
+    meter = CycleMeter()
+    kernel.process(_packet(), meter)
+    _assert_matches(meter, golden["best_effort"])
+
+
+def test_plugin_router_no_filters_cycles(golden):
+    """Plugin router, no filters: flow-cache miss then hit."""
+    router = _two_iface_router("inv-empty")
+    _assert_matches(router.measure_packet(_packet()), golden["plugin_empty"]["miss"])
+    _assert_matches(router.measure_packet(_packet()), golden["plugin_empty"]["hit"])
+
+
+def test_plugin_router_three_gates_cycles(golden):
+    """Table 3 row 2 shape: empty plugin bound at all three gates."""
+    router = _two_iface_router("inv-gates3")
+    plugin = _EmptyPlugin()
+    router.pcu.load(plugin)
+    instance = plugin.create_instance()
+    for gate in DEFAULT_GATES:
+        plugin.register_instance(instance, "*, *, UDP", gate=gate)
+    _assert_matches(router.measure_packet(_packet()), golden["plugin_gates3"]["miss"])
+    _assert_matches(router.measure_packet(_packet()), golden["plugin_gates3"]["hit"])
+
+
+def test_flow_table_memory_accesses(golden):
+    """Raw memory-access counts of the flow table itself (Table 2 style)."""
+    router = _two_iface_router("inv-mem")
+
+    miss_meter = MemoryMeter()
+    assert router.aiu.flow_table.lookup(_packet(), meter=miss_meter) is None
+    assert miss_meter.accesses == golden["flow_table_memory"]["miss"]["accesses"]
+    assert miss_meter.breakdown() == golden["flow_table_memory"]["miss"]["breakdown"]
+
+    router.receive(_packet())  # install the flow
+
+    hit_meter = MemoryMeter()
+    assert router.aiu.flow_table.lookup(_packet(), meter=hit_meter) is not None
+    assert hit_meter.accesses == golden["flow_table_memory"]["hit"]["accesses"]
+    assert hit_meter.breakdown() == golden["flow_table_memory"]["hit"]["breakdown"]
