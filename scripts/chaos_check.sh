@@ -1,0 +1,30 @@
+#!/bin/sh
+# One-shot robustness gate: run the seeded chaos soak (deterministic
+# fault injection through the plugin data path — see docs/ROBUSTNESS.md)
+# plus the rest of the fault-containment suite.
+#
+# Usage: scripts/chaos_check.sh
+#
+# The soak's seeds are fixed in tests/sim/test_chaos_soak.py (STORM),
+# so every run replays the same fault storm: ~5 % injected faults across
+# three plugins over 10k packets, on both the metered and the fast data
+# path, with packet-for-packet agreement asserted.
+#
+# Exits non-zero if containment fails: a fault escapes the router, a
+# record fails to reconcile, a quarantine misbehaves, or the two data
+# paths diverge.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== chaos soak (seeded fault storm) =="
+PYTHONPATH=src python -m pytest -q -m chaos tests/sim/test_chaos_soak.py
+
+echo "== fault-domain unit + equivalence suites =="
+PYTHONPATH=src python -m pytest -q \
+    tests/core/test_faults.py \
+    tests/core/test_unload_stale.py \
+    tests/perf/test_fault_equivalence.py
+
+echo "== done: containment holds =="

@@ -192,6 +192,40 @@ class AIU:
             self.plan_epoch += 1
         return removed
 
+    def purge_instance(self, instance: object) -> int:
+        """Remove *every* AIU reference to a plugin instance: its filter
+        records and any flow-table gate slot still pointing at it.
+
+        ``remove_filter`` alone only purges flows reachable through the
+        filter's back-references; an instance can also sit in a gate
+        slot with no live back-reference (e.g. bound after the flow was
+        cached, or installed outside ``register_instance``).  Unload
+        must never let the data path resurrect such an instance from the
+        flow cache, so this sweeps the flow table too — clearing the
+        slot *before* invalidating the record, which also protects a
+        packet mid-walk whose FIX still points at the record.
+
+        Returns the number of flow records invalidated.
+        """
+        for record in self.filters():
+            if record.instance is instance:
+                self.remove_filter(record)
+        purged = 0
+        for flow in list(self.flow_table):
+            stale = False
+            for slot in flow.slots:
+                if slot.instance is instance:
+                    if slot.filter_record is not None:
+                        slot.filter_record.flows.discard(flow)
+                        slot.filter_record = None
+                    slot.instance = None
+                    slot.private = None
+                    stale = True
+            if stale:
+                self.flow_table.invalidate(flow)
+                purged += 1
+        return purged
+
     def active_gates(self) -> Tuple[str, ...]:
         """Gates that currently have at least one filter installed, in
         gate order — the input to the router's fast-path plan."""

@@ -21,3 +21,13 @@ class InstanceError(PluginError):
 
 class ConfigurationError(PluginError):
     """Bad configuration arguments to a plugin or the router."""
+
+
+class ScriptError(ConfigurationError):
+    """A pmgr configuration script failed; carries the failing line."""
+
+    def __init__(self, lineno: int, command: str, cause: BaseException):
+        super().__init__(f"line {lineno}: {command!r}: {cause}")
+        self.lineno = lineno
+        self.command = command
+        self.cause = cause

@@ -1,0 +1,378 @@
+"""Per-plugin fault domains: structured capture, quarantine, recovery.
+
+The paper runs plugins *inside the kernel* and accepts that "a
+misbehaving plugin can crash the router" as the price of speed.  This
+module is the reproduction's answer to that risk: every fault raised by
+an ``instance.process()`` call is captured into a :class:`FaultRecord`
+(a bounded ring per plugin), and a circuit breaker quarantines a plugin
+whose fault rate trips its :class:`FaultPolicy` — degrading its gates to
+``drop``, ``bypass``, or a full ``unload`` instead of taking the router
+down.
+
+The containment layer is free on the healthy path: fault capture lives
+entirely in the gate macros' ``except`` branches, and the quarantine
+check is a single truthiness test of an (almost always empty) dict.  No
+modelled cycles are charged anywhere (asserted by
+``tests/perf/test_cost_invariance.py``).
+
+Lifecycle of a domain::
+
+    healthy --(threshold faults in window)--> quarantined
+    quarantined --(cool-down elapses, next packet probes)--> half_open
+    half_open --(probe succeeds)--> healthy       (window cleared)
+    half_open --(probe faults)-->   quarantined   (fresh cool-down)
+
+A domain whose policy action is ``unload`` goes straight to the terminal
+``unloaded`` state: the plugin is modunloaded, its filters removed, and
+its flow-table slots purged, so filterless gates return to the router's
+zero-cost plan.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from .plugin import Verdict
+
+# Degradation actions a quarantined plugin's gates take (FaultPolicy.action).
+DEGRADE_DROP = "drop"        # packets that would hit the plugin are dropped
+DEGRADE_BYPASS = "bypass"    # pass through as if no instance were bound
+DEGRADE_UNLOAD = "unload"    # modunload the plugin and unbind everything
+DEGRADE_ACTIONS = (DEGRADE_DROP, DEGRADE_BYPASS, DEGRADE_UNLOAD)
+
+# Domain states.
+STATE_HEALTHY = "healthy"
+STATE_QUARANTINED = "quarantined"
+STATE_HALF_OPEN = "half_open"
+STATE_UNLOADED = "unloaded"
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Circuit-breaker parameters for one plugin's fault domain.
+
+    ``threshold`` faults within a sliding ``window`` (seconds of router
+    time) trip quarantine; after ``cooldown`` seconds the next packet
+    that would hit the plugin runs as a half-open probe.  ``ring_size``
+    bounds the per-plugin :class:`FaultRecord` ring.
+    """
+
+    threshold: int = 3
+    window: float = 1.0
+    action: str = DEGRADE_DROP
+    cooldown: float = 5.0
+    ring_size: int = 64
+
+    def __post_init__(self):
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.window < 0 or self.cooldown < 0:
+            raise ValueError("window and cooldown must be >= 0")
+        if self.action not in DEGRADE_ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r}; known: {DEGRADE_ACTIONS}"
+            )
+        if self.ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+
+
+class FaultRecord:
+    """One captured plugin fault, replacing the old anonymous counter."""
+
+    __slots__ = (
+        "seq", "time", "plugin", "instance", "gate",
+        "error_type", "error", "flow", "packet_id",
+    )
+
+    def __init__(self, seq, time, plugin, instance, gate, exc, packet):
+        self.seq = seq
+        self.time = time
+        self.plugin = plugin
+        self.instance = instance
+        self.gate = gate
+        self.error_type = type(exc).__name__
+        self.error = str(exc)
+        self.flow = packet_digest(packet)
+        self.packet_id = getattr(packet, "packet_id", None)
+
+    def signature(self) -> tuple:
+        """Everything but the globally-sequenced packet id — two routers
+        fed identical traffic produce identical signatures (the fast-path
+        vs metered-path equivalence tests compare these)."""
+        return (
+            self.seq, self.time, self.plugin, self.instance, self.gate,
+            self.error_type, self.error, self.flow,
+        )
+
+    def render(self) -> str:
+        return (
+            f"#{self.seq} t={self.time:g} {self.plugin}/{self.instance} "
+            f"@ {self.gate}: {self.error_type}: {self.error} [{self.flow}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"FaultRecord({self.render()})"
+
+
+def packet_digest(packet) -> str:
+    """A compact, run-independent description of the faulting packet."""
+    try:
+        return (
+            f"{packet.src}:{packet.src_port}->{packet.dst}:{packet.dst_port}"
+            f"/{packet.protocol}"
+        )
+    except Exception:
+        return repr(packet)
+
+
+class PluginFaultDomain:
+    """Fault state for one plugin: the record ring, the sliding window,
+    and the circuit-breaker state machine."""
+
+    def __init__(self, plugin_name: str, policy: FaultPolicy):
+        self.plugin = plugin_name
+        self.policy = policy
+        self.records: Deque[FaultRecord] = deque(maxlen=policy.ring_size)
+        self.total = 0                    # faults ever (ring is bounded)
+        self.state = STATE_HEALTHY
+        self.quarantined_until = 0.0
+        self.quarantine_count = 0
+        self.reinstated_count = 0
+        self.dropped = 0                  # packets dropped while quarantined
+        self.bypassed = 0                 # packets bypassed while quarantined
+        self._window: Deque[float] = deque()
+        self._plugin_ref: Any = None      # set when quarantined (for reinstate)
+
+    # ------------------------------------------------------------------
+    def record(self, instance, gate: str, exc: BaseException, packet, now: float) -> FaultRecord:
+        self.total += 1
+        rec = FaultRecord(
+            self.total, now, self.plugin,
+            getattr(instance, "name", repr(instance)), gate, exc, packet,
+        )
+        self.records.append(rec)
+        self._window.append(now)
+        cutoff = now - self.policy.window
+        while self._window and self._window[0] < cutoff:
+            self._window.popleft()
+        return rec
+
+    def faults_in_window(self, now: float) -> int:
+        cutoff = now - self.policy.window
+        return sum(1 for t in self._window if t >= cutoff)
+
+    def tripped(self, now: float) -> bool:
+        return self.faults_in_window(now) >= self.policy.threshold
+
+    # ------------------------------------------------------------------
+    def intercept(self, now: float) -> Optional[str]:
+        """Data-path decision for a packet about to hit this quarantined
+        plugin: the degradation action, or ``None`` to run a half-open
+        probe (the cool-down has elapsed)."""
+        if now >= self.quarantined_until:
+            self.state = STATE_HALF_OPEN
+            return None
+        action = self.policy.action
+        if action == DEGRADE_BYPASS:
+            self.bypassed += 1
+        else:
+            self.dropped += 1
+        return action
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able health summary (Router.health / pmgr show faults)."""
+        last = self.records[-1] if self.records else None
+        return {
+            "state": self.state,
+            "action": self.policy.action,
+            "threshold": self.policy.threshold,
+            "window": self.policy.window,
+            "cooldown": self.policy.cooldown,
+            "faults_total": self.total,
+            "faults_in_ring": len(self.records),
+            "quarantine_count": self.quarantine_count,
+            "reinstated_count": self.reinstated_count,
+            "quarantined_until": self.quarantined_until,
+            "dropped_while_quarantined": self.dropped,
+            "bypassed_while_quarantined": self.bypassed,
+            "last_fault": last.render() if last is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PluginFaultDomain({self.plugin!r}, state={self.state}, "
+            f"faults={self.total})"
+        )
+
+
+class FaultManager:
+    """Router-wide registry of per-plugin fault domains.
+
+    Owns the quarantine state machine; the router's data path consults
+    ``router._quarantined`` (instance -> domain, maintained here) and
+    calls :meth:`on_fault` from the gate macros' ``except`` branches.
+    """
+
+    def __init__(self, router):
+        self.router = router
+        self.default_policy = FaultPolicy()
+        self._domains: Dict[str, PluginFaultDomain] = {}
+
+    # ------------------------------------------------------------------
+    # Policy / domain management
+    # ------------------------------------------------------------------
+    def domain(self, plugin_name: str) -> PluginFaultDomain:
+        dom = self._domains.get(plugin_name)
+        if dom is None:
+            dom = PluginFaultDomain(plugin_name, self.default_policy)
+            self._domains[plugin_name] = dom
+        return dom
+
+    def domains(self) -> Dict[str, PluginFaultDomain]:
+        return dict(self._domains)
+
+    def set_policy(self, plugin_name: str, policy: FaultPolicy) -> PluginFaultDomain:
+        """Install (or replace) a plugin's fault policy, preserving any
+        records already captured."""
+        old = self._domains.get(plugin_name)
+        dom = PluginFaultDomain(plugin_name, policy)
+        if old is not None:
+            dom.records.extend(old.records)      # deque maxlen re-bounds
+            dom.total = old.total
+            dom.state = old.state
+            dom.quarantined_until = old.quarantined_until
+            dom.quarantine_count = old.quarantine_count
+            dom.reinstated_count = old.reinstated_count
+            dom.dropped = old.dropped
+            dom.bypassed = old.bypassed
+            dom._window.extend(old._window)
+            dom._plugin_ref = old._plugin_ref
+        self._domains[plugin_name] = dom
+        return dom
+
+    # ------------------------------------------------------------------
+    # Data-path entry points
+    # ------------------------------------------------------------------
+    def on_fault(self, instance, gate: str, exc: BaseException, packet, now: float) -> str:
+        """Capture one ``instance.process()`` fault; returns the verdict
+        the gate applies to the faulting packet (always a drop — the
+        degradation actions govern *subsequent* packets)."""
+        plugin = getattr(instance, "plugin", None)
+        name = getattr(plugin, "name", None) or getattr(instance, "name", "?")
+        dom = self.domain(name)
+        dom.record(instance, gate, exc, packet, now)
+        self.router.counters["plugin_faults"] += 1
+        if dom.state == STATE_HALF_OPEN:
+            # The half-open probe failed: back to quarantine.
+            dom.state = STATE_QUARANTINED
+            dom.quarantined_until = now + dom.policy.cooldown
+            dom.quarantine_count += 1
+            self.router.counters["plugin_requarantines"] += 1
+        elif dom.state == STATE_HEALTHY and dom.tripped(now):
+            self.quarantine(plugin if plugin is not None else instance, now=now)
+        return Verdict.DROP
+
+    def probe_succeeded(self, instance, now: float) -> None:
+        """A half-open probe completed without fault: reinstate."""
+        plugin = getattr(instance, "plugin", None)
+        name = getattr(plugin, "name", None) or getattr(instance, "name", "?")
+        dom = self._domains.get(name)
+        if dom is not None and dom.state == STATE_HALF_OPEN:
+            self.reinstate(name)
+
+    # ------------------------------------------------------------------
+    # Quarantine lifecycle
+    # ------------------------------------------------------------------
+    def quarantine(
+        self,
+        plugin,
+        now: float = 0.0,
+        until: Optional[float] = None,
+        action: Optional[str] = None,
+    ) -> PluginFaultDomain:
+        """Quarantine a plugin (circuit-breaker trip, or manual via
+        ``pmgr quarantine``).  ``until`` defaults to ``now + cooldown``;
+        pass ``math.inf`` for an indefinite manual quarantine."""
+        if isinstance(plugin, str):
+            plugin = self.router.pcu.get(plugin)
+        name = plugin.name
+        dom = self.domain(name)
+        if action is not None and action != dom.policy.action:
+            self.set_policy(
+                name,
+                FaultPolicy(
+                    threshold=dom.policy.threshold,
+                    window=dom.policy.window,
+                    action=action,
+                    cooldown=dom.policy.cooldown,
+                    ring_size=dom.policy.ring_size,
+                ),
+            )
+            dom = self._domains[name]
+        dom.state = STATE_QUARANTINED
+        dom.quarantined_until = now + dom.policy.cooldown if until is None else until
+        dom.quarantine_count += 1
+        dom._plugin_ref = plugin
+        self.router.counters["plugin_quarantines"] += 1
+        if dom.policy.action == DEGRADE_UNLOAD:
+            dom.state = STATE_UNLOADED
+            dom.quarantined_until = math.inf
+            self.router.pcu.unload(plugin)
+            return dom
+        quarantined = self.router._quarantined
+        for inst in getattr(plugin, "instances", []):
+            quarantined[inst] = dom
+        return dom
+
+    def reinstate(self, plugin_or_name) -> PluginFaultDomain:
+        """Lift a quarantine: the plugin's gates behave normally again
+        and its fault window restarts empty."""
+        name = plugin_or_name if isinstance(plugin_or_name, str) else plugin_or_name.name
+        dom = self._domains.get(name)
+        if dom is None:
+            raise KeyError(f"no fault domain for plugin {name!r}")
+        if dom.state == STATE_UNLOADED:
+            raise ValueError(f"plugin {name!r} was unloaded; reload it instead")
+        dom.state = STATE_HEALTHY
+        dom.quarantined_until = 0.0
+        dom.reinstated_count += 1
+        dom._window.clear()
+        quarantined = self.router._quarantined
+        for inst, d in list(quarantined.items()):
+            if d is dom:
+                del quarantined[inst]
+        self.router.counters["plugin_reinstatements"] += 1
+        return dom
+
+    def forget_plugin(self, plugin) -> None:
+        """Called on unload: drop the plugin's instances from the live
+        quarantine map (the domain's history is kept)."""
+        quarantined = self.router._quarantined
+        for inst in list(quarantined):
+            if getattr(inst, "plugin", None) is plugin:
+                del quarantined[inst]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, dict]:
+        return {name: dom.snapshot() for name, dom in sorted(self._domains.items())}
+
+    def records(self, plugin_name: Optional[str] = None) -> List[FaultRecord]:
+        if plugin_name is not None:
+            dom = self._domains.get(plugin_name)
+            return list(dom.records) if dom is not None else []
+        out: List[FaultRecord] = []
+        for name in sorted(self._domains):
+            out.extend(self._domains[name].records)
+        return out
+
+    def total_faults(self) -> int:
+        return sum(dom.total for dom in self._domains.values())
+
+    def __repr__(self) -> str:
+        return f"FaultManager({sorted(self._domains)})"

@@ -198,14 +198,16 @@ class Plugin:
         if instance not in self.instances:
             raise InstanceError(f"{instance} is not an instance of {self.name}")
         if self.pcu is not None and self.pcu.aiu is not None:
-            for record in list(self.pcu.aiu.filters()):
-                if record.instance is instance:
-                    self.pcu.aiu.remove_filter(record)
+            # Filters bound to the instance *and* any flow-table slot
+            # still referencing it — mid-traffic frees must not leave a
+            # cached flow that resurrects the dead instance.
+            self.pcu.aiu.purge_instance(instance)
         router = self.pcu.router if self.pcu is not None else None
         if router is not None:
             for iface, scheduler in list(router._schedulers.items()):
                 if scheduler is instance:
                     del router._schedulers[iface]
+            router._quarantined.pop(instance, None)
         instance.free()
         self.instances.remove(instance)
 

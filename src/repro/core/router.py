@@ -39,6 +39,7 @@ from ..net.packet import Packet
 from ..net.routing import Route, RoutingTable
 from ..sim.cost import Costs, CycleMeter, MemoryMeter, NULL_METER
 from ..sim.events import EventLoop
+from .faults import DEGRADE_BYPASS, FaultManager
 from .gates import DEFAULT_GATES, GATE_PACKET_SCHEDULING, GATE_ROUTING
 from .pcu import PluginControlUnit
 from .plugin import PluginContext, Verdict
@@ -100,6 +101,12 @@ class Router:
         self._tx_busy: Dict[str, bool] = {}
         self.loop = loop
         self.counters: Counter = Counter()
+        # Fault containment (docs/ROBUSTNESS.md): per-plugin fault
+        # domains plus the live quarantine map the gate macros consult.
+        # The map is empty unless a plugin is actually quarantined, so
+        # the healthy path pays one truthiness test per plugin call.
+        self._quarantined: Dict[object, object] = {}
+        self.faults = FaultManager(self)
         self.send_icmp_errors = send_icmp_errors
         self._icmp_limiter = IcmpRateLimiter()
         #: Optional per-packet walk recorder (see repro.core.tracing).
@@ -314,6 +321,13 @@ class Router:
             instance = record.slots[gate_index].instance
         if instance is None:
             return Verdict.CONTINUE, None
+        probe = False
+        if self._quarantined:
+            action, probe = self._intercept(instance, now)
+            if action is not None:
+                if action == DEGRADE_BYPASS:
+                    return Verdict.CONTINUE, None
+                return Verdict.DROP, instance
         if ctx_pool is not None:
             ctx = ctx_pool.get(gate)
             if ctx is None:
@@ -334,10 +348,25 @@ class Router:
                 out_interface=oif,
             )
         try:
-            return instance.process(packet, ctx), instance
-        except Exception:
-            self.counters["plugin_faults"] += 1
-            return Verdict.DROP, instance
+            verdict = instance.process(packet, ctx)
+        except Exception as exc:
+            return self.faults.on_fault(instance, gate, exc, packet, now), instance
+        if probe:
+            self.faults.probe_succeeded(instance, now)
+        return verdict, instance
+
+    def _intercept(self, instance, now: float):
+        """Quarantine decision for one plugin call: ``(action, probe)``.
+        ``action`` is the degradation to apply instead of calling the
+        instance, or ``None`` to proceed; ``probe`` marks a half-open
+        recovery probe (a success reinstates the plugin)."""
+        domain = self._quarantined.get(instance)
+        if domain is None:
+            return None, False
+        action = domain.intercept(now)
+        if action is None:
+            return None, True
+        return action, False
 
     def _route_fast(self, packet: Packet, now: float, ctx_pool) -> Optional[Route]:
         if self._has_routing_gate:
@@ -403,11 +432,9 @@ class Router:
             if instance is None and oif in self._schedulers:
                 scheduler = self._schedulers[oif]
                 if scheduler is not None:
-                    ctx = PluginContext(
-                        router=self, gate=GATE_PACKET_SCHEDULING, now=now,
-                        out_interface=oif,
+                    verdict = self._scheduler_process(
+                        scheduler, packet, oif, now, NULL_METER
                     )
-                    verdict = scheduler.process(packet, ctx)
                     if verdict == Verdict.CONSUMED:
                         self._kick(oif, now)
                         self.counters[Disposition.QUEUED] += 1
@@ -525,11 +552,9 @@ class Router:
             if instance is None and oif in self._schedulers:
                 scheduler = self._schedulers[oif]
                 if scheduler is not None:
-                    ctx = PluginContext(
-                        router=self, gate=GATE_PACKET_SCHEDULING, now=now,
-                        cycles=cycles, out_interface=oif,
+                    verdict = self._scheduler_process(
+                        scheduler, packet, oif, now, cycles
                     )
-                    verdict = scheduler.process(packet, ctx)
                     if verdict == Verdict.CONSUMED:
                         self._kick(oif, now, cycles)
                         self.counters[Disposition.QUEUED] += 1
@@ -563,6 +588,21 @@ class Router:
             if self.tracer is not None:
                 self.tracer.on_gate(packet, gate, None, Verdict.CONTINUE)
             return Verdict.CONTINUE, None
+        probe = False
+        if self._quarantined:
+            action, probe = self._intercept(instance, now)
+            if action is not None:
+                # Degraded gate: no plugin call, so no INDIRECT_CALL
+                # charge — the quarantined plan mirrors what the fast
+                # path executes.
+                bypass = action == DEGRADE_BYPASS
+                verdict = Verdict.CONTINUE if bypass else Verdict.DROP
+                if self.tracer is not None:
+                    self.tracer.on_gate(
+                        packet, gate, instance, verdict,
+                        note=f"quarantined:{action}",
+                    )
+                return verdict, (None if bypass else instance)
         cycles.charge(Costs.INDIRECT_CALL, "plugin_call")
         ctx = PluginContext(
             router=self,
@@ -575,16 +615,65 @@ class Router:
         )
         try:
             verdict = instance.process(packet, ctx)
-            if self.tracer is not None:
-                self.tracer.on_gate(packet, gate, instance, verdict)
-            return verdict, instance
-        except Exception:
+        except Exception as exc:
             # Fault containment: a misbehaving plugin must not take the
-            # router down.  The packet is dropped and the fault counted;
-            # the kernel analogue is the plugin sandboxing the paper's
-            # framework makes possible by confining code behind gates.
-            self.counters["plugin_faults"] += 1
-            return Verdict.DROP, instance
+            # router down.  The fault is captured into the plugin's
+            # fault domain (which may trip quarantine) and the packet
+            # dropped; the kernel analogue is the plugin sandboxing the
+            # paper's framework makes possible by confining code behind
+            # gates.
+            verdict = self.faults.on_fault(instance, gate, exc, packet, now)
+            if self.tracer is not None:
+                self.tracer.on_fault(packet, gate, instance, exc, verdict)
+            return verdict, instance
+        if probe:
+            self.faults.probe_succeeded(instance, now)
+        if self.tracer is not None:
+            self.tracer.on_gate(packet, gate, instance, verdict)
+        return verdict, instance
+
+    def _scheduler_process(
+        self, scheduler, packet: Packet, oif: str, now: float, cycles
+    ) -> Optional[str]:
+        """Run a bound per-interface scheduler's ``process`` under fault
+        containment; identical on the fast and metered paths.  Returns
+        the verdict, or ``None`` when quarantine bypass says to skip the
+        scheduler and output the packet directly."""
+        probe = False
+        if self._quarantined:
+            action, probe = self._intercept(scheduler, now)
+            if action is not None:
+                if action == DEGRADE_BYPASS:
+                    return None
+                return Verdict.DROP
+        ctx = PluginContext(
+            router=self, gate=GATE_PACKET_SCHEDULING, now=now,
+            cycles=cycles, out_interface=oif,
+        )
+        try:
+            verdict = scheduler.process(packet, ctx)
+        except Exception as exc:
+            verdict = self.faults.on_fault(
+                scheduler, GATE_PACKET_SCHEDULING, exc, packet, now
+            )
+            if self.tracer is not None:
+                self.tracer.on_fault(
+                    packet, GATE_PACKET_SCHEDULING, scheduler, exc, verdict
+                )
+            return verdict
+        if probe:
+            self.faults.probe_succeeded(scheduler, now)
+        return verdict
+
+    def _scheduler_dequeue(self, scheduler, at: float) -> Optional[Packet]:
+        """Dequeue from a scheduler instance; a faulting dequeue is
+        captured into the fault domain and drains nothing (rather than
+        unwinding the whole transmit path)."""
+        try:
+            return scheduler.dequeue(at)
+        except Exception as exc:
+            self.faults.on_fault(scheduler, GATE_PACKET_SCHEDULING, exc, None, at)
+            return None
 
     # ------------------------------------------------------------------
     # Output scheduling
@@ -599,7 +688,7 @@ class Router:
         if self.loop is None:
             while True:
                 at = max(now, iface.next_free)
-                packet = scheduler.dequeue(at)
+                packet = self._scheduler_dequeue(scheduler, at)
                 if packet is None:
                     return
                 cycles.charge(dequeue_cost, "sched_dequeue")
@@ -615,7 +704,7 @@ class Router:
         iface = self.interfaces[oif]
         scheduler = self._scheduler_object(oif)
         now = self.loop.now
-        packet = None if scheduler is None else scheduler.dequeue(now)
+        packet = None if scheduler is None else self._scheduler_dequeue(scheduler, now)
         if packet is None:
             self._tx_busy[oif] = False
             return
@@ -713,6 +802,19 @@ class Router:
                     self.receive(packet, now=packet.arrival_time, cycles=cycles)
                 )
         return results
+
+    # ------------------------------------------------------------------
+    # Health / fault introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Operational snapshot: counters, live quarantines, and every
+        plugin fault domain (state, policy, totals, last fault)."""
+        return {
+            "router": self.name,
+            "counters": dict(self.counters),
+            "quarantined": sorted({d.plugin for d in self._quarantined.values()}),
+            "plugins": self.faults.health(),
+        }
 
     def measure_packet(self, packet: Packet, now: float = 0.0) -> CycleMeter:
         """Run one packet with a fresh cycle meter; returns the meter."""

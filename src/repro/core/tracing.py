@@ -26,7 +26,7 @@ from ..net.packet import Packet
 class TraceEvent:
     """One step of a packet's walk through the data path."""
 
-    kind: str                    # "rx", "gate", "route", "output", "done"
+    kind: str                    # "rx", "gate", "fault", "route", "output", "done"
     detail: str
     gate: Optional[str] = None
     instance: Optional[str] = None
@@ -35,7 +35,11 @@ class TraceEvent:
     def render(self) -> str:
         if self.kind == "gate":
             who = self.instance or "(no instance bound)"
-            return f"gate {self.gate}: {who} -> {self.verdict}"
+            note = f" [{self.detail}]" if self.detail else ""
+            return f"gate {self.gate}: {who} -> {self.verdict}{note}"
+        if self.kind == "fault":
+            who = self.instance or "(unknown instance)"
+            return f"gate {self.gate}: {who} FAULT {self.detail} -> {self.verdict}"
         return f"{self.kind}: {self.detail}"
 
 
@@ -73,13 +77,35 @@ class Tracer:
             TraceEvent("rx", f"arrived on {packet.iif} ttl={packet.ttl}")
         )
 
-    def on_gate(self, packet: Packet, gate: str, instance, verdict: str) -> None:
+    def on_gate(
+        self, packet: Packet, gate: str, instance, verdict: str, note: str = ""
+    ) -> None:
         trace = self._traces.get(packet.packet_id)
         if trace is None:
             return
         name = getattr(instance, "name", None) if instance is not None else None
         trace.events.append(
-            TraceEvent("gate", "", gate=gate, instance=name, verdict=verdict)
+            TraceEvent("gate", note, gate=gate, instance=name, verdict=verdict)
+        )
+
+    def on_fault(
+        self, packet: Packet, gate: str, instance, error: BaseException, verdict: str
+    ) -> None:
+        """A plugin fault killed this packet — record the cause, so a
+        traced packet that dies to a fault no longer shows a bare walk
+        with no explanation."""
+        trace = self._traces.get(packet.packet_id)
+        if trace is None:
+            return
+        name = getattr(instance, "name", None) if instance is not None else None
+        trace.events.append(
+            TraceEvent(
+                "fault",
+                f"{type(error).__name__}: {error}",
+                gate=gate,
+                instance=name,
+                verdict=verdict,
+            )
         )
 
     def on_route(self, packet: Packet, route) -> None:

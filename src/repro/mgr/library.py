@@ -10,10 +10,12 @@ calls the Plugin Manager and the daemons use.
 
 from __future__ import annotations
 
+import math
 import shlex
 from typing import Dict, List, Optional, Type
 
 from ..core.errors import ConfigurationError, UnknownPluginError
+from ..core.faults import FaultPolicy, PluginFaultDomain
 from ..core.plugin import Plugin, PluginInstance
 from ..core.router import Router
 from ..core.routing_plugin import L4RoutingPlugin
@@ -143,6 +145,44 @@ class RouterPluginLibrary:
 
     def add_route(self, prefix: str, interface: str, next_hop: Optional[str] = None) -> None:
         self.router.routing_table.add(prefix, interface, next_hop=next_hop)
+
+    # ------------------------------------------------------------------
+    # Fault domains / quarantine (docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def quarantine(self, plugin_name: str, action: Optional[str] = None) -> PluginFaultDomain:
+        """Manually quarantine a plugin, indefinitely (until
+        ``reinstate``); ``action`` overrides the policy's degradation."""
+        return self.router.faults.quarantine(
+            plugin_name, until=math.inf, action=action
+        )
+
+    def reinstate(self, plugin_name: str) -> PluginFaultDomain:
+        """Lift a quarantine and restart the plugin's fault window."""
+        return self.router.faults.reinstate(plugin_name)
+
+    def set_fault_policy(self, plugin_name: str, **kwargs) -> PluginFaultDomain:
+        """Install a per-plugin FaultPolicy (threshold, window, action,
+        cooldown, ring_size); unspecified fields keep their defaults."""
+        try:
+            policy = FaultPolicy(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad fault policy: {exc}") from exc
+        return self.router.faults.set_policy(plugin_name, policy)
+
+    def show_faults(self) -> List[str]:
+        lines: List[str] = []
+        health = self.router.faults.health()
+        if not health:
+            return ["no plugin faults recorded"]
+        for name, snap in health.items():
+            lines.append(
+                f"{name}: {snap['state']} action={snap['action']} "
+                f"faults={snap['faults_total']} "
+                f"quarantines={snap['quarantine_count']}"
+            )
+            for record in self.router.faults.records(name):
+                lines.append(f"  {record.render()}")
+        return lines
 
     # ------------------------------------------------------------------
     # Introspection ("show" commands)

@@ -17,10 +17,16 @@ Command language (one command per line; ``#`` comments allowed)::
     route <prefix> <interface> [next_hop]
     mroute <group> <oif1,oif2,...> [source|*] [expected_iif]
     msg <plugin> <type> [key=value...]        # plugin-specific message
-    show plugins|filters|flows
+    quarantine <plugin> [drop|bypass|unload]  # manual circuit-breaker trip
+    reinstate <plugin>                        # lift a quarantine
+    faultpolicy <plugin> [threshold=N] [window=S] [action=A] [cooldown=S]
+    show plugins|filters|flows|faults|health
 
 The §6.1 example script from the paper runs verbatim through
-:func:`run_script` (see ``tests/mgr/test_pmgr_paper_script.py``).
+:func:`run_script` (see ``tests/mgr/test_pmgr_paper_script.py``).  A
+failing script line raises :class:`~repro.core.errors.ScriptError`
+naming the line number and command; ``run_script(...,
+continue_on_error=True)`` logs the error and keeps going instead.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List, Optional
 
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, ScriptError
 from ..core.messages import Message
 from ..core.router import Router
 from .library import RouterPluginLibrary, parse_config_value, split_command
@@ -52,8 +58,14 @@ class PluginManager:
             "route": self._cmd_route,
             "mroute": self._cmd_mroute,
             "msg": self._cmd_msg,
+            "quarantine": self._cmd_quarantine,
+            "reinstate": self._cmd_reinstate,
+            "faultpolicy": self._cmd_faultpolicy,
             "show": self._cmd_show,
         }
+        #: Errors collected by the last ``run_script(...,
+        #: continue_on_error=True)`` run.
+        self.script_errors: List[ScriptError] = []
 
     # ------------------------------------------------------------------
     def run_command(self, line: str) -> None:
@@ -73,14 +85,30 @@ class PluginManager:
             )
         handler(tokens[1:])
 
-    def run_script(self, text: str) -> int:
-        """Execute a configuration script; returns commands executed."""
+    def run_script(self, text: str, continue_on_error: bool = False) -> int:
+        """Execute a configuration script; returns commands executed.
+
+        A failing command raises :class:`ScriptError` carrying the line
+        number and the command text.  With ``continue_on_error`` the
+        error is printed and collected in :attr:`script_errors` instead,
+        and the rest of the script still runs — one bad admin command no
+        longer aborts a whole boot configuration.
+        """
         executed = 0
-        for raw_line in text.splitlines():
+        self.script_errors = []
+        for lineno, raw_line in enumerate(text.splitlines(), start=1):
             line = raw_line.strip()
             if not line or line.startswith("#"):
                 continue
-            self.run_command(line)
+            try:
+                self.run_command(line)
+            except Exception as exc:
+                error = ScriptError(lineno, line, exc)
+                if not continue_on_error:
+                    raise error from exc
+                self.script_errors.append(error)
+                self._print(f"error: {error}")
+                continue
             executed += 1
         return executed
 
@@ -162,8 +190,30 @@ class PluginManager:
         result = self.router.pcu.send(plugin_name, Message(msg_type, msg_args))
         self._print(f"msg {msg_type} -> {result!r}")
 
+    def _cmd_quarantine(self, args: List[str]) -> None:
+        if len(args) not in (1, 2):
+            raise ConfigurationError("usage: quarantine <plugin> [drop|bypass|unload]")
+        action = args[1] if len(args) == 2 else None
+        domain = self.library.quarantine(args[0], action=action)
+        self._print(f"quarantined {args[0]} action={domain.policy.action}")
+
+    def _cmd_reinstate(self, args: List[str]) -> None:
+        self._need(args, 1, "reinstate <plugin>")
+        self.library.reinstate(args[0])
+        self._print(f"reinstated {args[0]}")
+
+    def _cmd_faultpolicy(self, args: List[str]) -> None:
+        if len(args) < 2:
+            raise ConfigurationError(
+                "usage: faultpolicy <plugin> [threshold=N] [window=S] "
+                "[action=drop|bypass|unload] [cooldown=S] [ring_size=N]"
+            )
+        config = dict(parse_config_value(token) for token in args[1:])
+        domain = self.library.set_fault_policy(args[0], **config)
+        self._print(f"faultpolicy {args[0]}: {domain.policy}")
+
     def _cmd_show(self, args: List[str]) -> None:
-        self._need(args, 1, "show plugins|filters|flows")
+        self._need(args, 1, "show plugins|filters|flows|faults|health")
         what = args[0]
         if what == "plugins":
             for name in self.library.show_plugins():
@@ -173,6 +223,11 @@ class PluginManager:
                 self._print(line)
         elif what == "flows":
             self._print(str(self.library.show_flows()))
+        elif what == "faults":
+            for line in self.library.show_faults():
+                self._print(line)
+        elif what == "health":
+            self._print(str(self.router.health()))
         else:
             raise ConfigurationError(f"unknown show target {what!r}")
 
@@ -182,11 +237,13 @@ class PluginManager:
             raise ConfigurationError(f"usage: {usage}")
 
 
-def run_script(text: str, router: Router, output=None) -> PluginManager:
+def run_script(
+    text: str, router: Router, output=None, continue_on_error: bool = False
+) -> PluginManager:
     """Convenience: run a config script against a router; returns the
     manager for further commands."""
     manager = PluginManager(router, output=output)
-    manager.run_script(text)
+    manager.run_script(text, continue_on_error=continue_on_error)
     return manager
 
 
@@ -195,6 +252,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     runs the script against it (stateless across invocations — see
     README; real deployments embed :class:`PluginManager`)."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    continue_on_error = False
+    if argv and argv[0] in ("-k", "--continue-on-error"):
+        continue_on_error = True
+        argv = argv[1:]
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
@@ -202,8 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     router.add_interface("atm0", prefix="0.0.0.0/0")
     manager = PluginManager(router, output=print)
     with open(argv[0], "r", encoding="utf-8") as handle:
-        manager.run_script(handle.read())
-    return 0
+        manager.run_script(handle.read(), continue_on_error=continue_on_error)
+    return 1 if manager.script_errors else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

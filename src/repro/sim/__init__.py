@@ -1,4 +1,4 @@
-"""Simulation substrate: discrete-event loop and the cycle cost model."""
+"""Simulation substrate: event loop, cost model, and fault injection."""
 
 from .cost import (
     CPU_HZ,
@@ -16,6 +16,9 @@ from .cost import (
 from .events import Event, EventLoop
 
 __all__ = [
+    "ChaosInstance",
+    "ChaosPlugin",
+    "InjectedFault",
     "CPU_HZ",
     "CYCLES_PER_MEMORY_ACCESS",
     "Costs",
@@ -30,3 +33,18 @@ __all__ = [
     "Event",
     "EventLoop",
 ]
+
+
+_CHAOS_EXPORTS = ("ChaosInstance", "ChaosPlugin", "InjectedFault")
+__all__ += list(_CHAOS_EXPORTS)
+
+
+def __getattr__(name):
+    # The chaos harness wraps core plugin classes, and repro.core pulls
+    # the cost model from this package — import it lazily to keep the
+    # package import graph acyclic.
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

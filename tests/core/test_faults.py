@@ -1,0 +1,297 @@
+"""Tests for per-plugin fault domains: capture, quarantine, recovery.
+
+The quarantine state machine (docs/ROBUSTNESS.md)::
+
+    healthy --(threshold faults in window)--> quarantined
+    quarantined --(cool-down elapses, next packet probes)--> half_open
+    half_open --(probe succeeds)--> healthy
+    half_open --(probe faults)-->   quarantined (fresh cool-down)
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DEGRADE_BYPASS,
+    DEGRADE_DROP,
+    DEGRADE_UNLOAD,
+    FaultPolicy,
+    GATE_IP_SECURITY,
+    Plugin,
+    PluginInstance,
+    Router,
+    STATE_HALF_OPEN,
+    STATE_HEALTHY,
+    STATE_QUARANTINED,
+    STATE_UNLOADED,
+    TYPE_IP_SECURITY,
+    Verdict,
+)
+from repro.net.packet import make_udp
+
+
+class FlakyInstance(PluginInstance):
+    """Raises on demand; counts calls so tests can prove containment."""
+
+    def __init__(self, plugin, fail=False, **config):
+        super().__init__(plugin, **config)
+        self.fail = fail
+        self.calls = 0
+
+    def process(self, packet, ctx):
+        self.calls += 1
+        if self.fail:
+            raise RuntimeError("boom")
+        return Verdict.CONTINUE
+
+
+class FlakyPlugin(Plugin):
+    name = "flaky"
+    plugin_type = TYPE_IP_SECURITY
+    instance_class = FlakyInstance
+
+
+@pytest.fixture
+def router():
+    r = Router(flow_buckets=64)
+    r.add_interface("atm0", prefix="10.0.0.0/8")
+    r.add_interface("atm1", prefix="20.0.0.0/8")
+    return r
+
+
+@pytest.fixture
+def flaky(router):
+    plugin = FlakyPlugin()
+    router.pcu.load(plugin)
+    instance = plugin.create_instance(fail=True)
+    plugin.register_instance(instance, "*, *, UDP", gate=GATE_IP_SECURITY)
+    return instance
+
+
+def _pkt(i=1):
+    return make_udp(f"10.0.0.{i % 250 + 1}", "20.0.0.1", 5000, 9000, iif="atm0")
+
+
+class TestFaultCapture:
+    def test_fault_produces_structured_record(self, router, flaky):
+        router.receive(_pkt(), now=2.5)
+        records = router.faults.records("flaky")
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.plugin == "flaky"
+        assert rec.instance == flaky.name
+        assert rec.gate == GATE_IP_SECURITY
+        assert rec.error_type == "RuntimeError"
+        assert rec.error == "boom"
+        assert rec.time == 2.5
+        assert "10.0.0.2:5000->20.0.0.1:9000" in rec.flow
+        assert router.counters["plugin_faults"] == 1
+
+    def test_faulting_packet_dropped_not_raised(self, router, flaky):
+        assert router.receive(_pkt()) == "dropped_by_plugin"
+
+    def test_ring_is_bounded(self, router, flaky):
+        router.faults.set_policy(
+            "flaky", FaultPolicy(threshold=1000, window=0.0, ring_size=4)
+        )
+        for i in range(10):
+            router.receive(_pkt(i), now=i)
+        dom = router.faults.domain("flaky")
+        assert dom.total == 10
+        assert len(dom.records) == 4
+        assert dom.records[0].seq == 7  # oldest retained
+
+    def test_record_signature_excludes_packet_id(self, router, flaky):
+        router.receive(_pkt(), now=1.0)
+        rec = router.faults.records("flaky")[0]
+        assert rec.packet_id is not None
+        assert rec.packet_id not in rec.signature()
+
+
+class TestQuarantineTrip:
+    def test_threshold_in_window_trips(self, router, flaky):
+        router.faults.set_policy("flaky", FaultPolicy(threshold=3, window=1.0))
+        for i in range(3):
+            router.receive(_pkt(i), now=i * 0.1)
+        dom = router.faults.domain("flaky")
+        assert dom.state == STATE_QUARANTINED
+        assert router.counters["plugin_quarantines"] == 1
+        # Subsequent packets degrade without calling the instance.
+        calls = flaky.calls
+        assert router.receive(_pkt(9), now=0.4) == "dropped_by_plugin"
+        assert flaky.calls == calls
+        assert dom.dropped == 1
+
+    def test_window_expiry_never_trips(self, router, flaky):
+        router.faults.set_policy("flaky", FaultPolicy(threshold=3, window=1.0))
+        # Faults spaced 2s apart: never 3 inside any 1s window.
+        for i in range(6):
+            router.receive(_pkt(i), now=i * 2.0)
+        dom = router.faults.domain("flaky")
+        assert dom.total == 6
+        assert dom.state == STATE_HEALTHY
+        assert router.counters["plugin_quarantines"] == 0
+
+    def test_faults_in_window_slides(self, router, flaky):
+        router.faults.set_policy("flaky", FaultPolicy(threshold=10, window=1.0))
+        for now in (0.0, 0.5, 1.2):
+            router.receive(_pkt(), now=now)
+        dom = router.faults.domain("flaky")
+        assert dom.faults_in_window(1.2) == 2  # the 0.0 fault aged out
+
+
+class TestRecovery:
+    @pytest.fixture
+    def quarantined(self, router, flaky):
+        router.faults.set_policy(
+            "flaky", FaultPolicy(threshold=2, window=1.0, cooldown=5.0)
+        )
+        router.receive(_pkt(), now=0.0)
+        router.receive(_pkt(), now=0.1)
+        assert router.faults.domain("flaky").state == STATE_QUARANTINED
+        return router.faults.domain("flaky")
+
+    def test_probe_success_reinstates(self, router, flaky, quarantined):
+        flaky.fail = False
+        # Before the cool-down elapses: still degraded.
+        assert router.receive(_pkt(), now=3.0) == "dropped_by_plugin"
+        # After: the next packet runs as a half-open probe and succeeds.
+        assert router.receive(_pkt(), now=6.0) == "forwarded"
+        assert quarantined.state == STATE_HEALTHY
+        assert quarantined.reinstated_count == 1
+        assert router.counters["plugin_reinstatements"] == 1
+        # The fault window restarted: one new fault does not re-trip.
+        flaky.fail = True
+        router.receive(_pkt(), now=6.1)
+        assert quarantined.state == STATE_HEALTHY
+
+    def test_probe_failure_requarantines(self, router, flaky, quarantined):
+        assert router.receive(_pkt(), now=6.0) == "dropped_by_plugin"
+        assert quarantined.state == STATE_QUARANTINED
+        assert quarantined.quarantined_until == pytest.approx(11.0)
+        assert router.counters["plugin_requarantines"] == 1
+        # And the cycle can repeat.
+        flaky.fail = False
+        assert router.receive(_pkt(), now=12.0) == "forwarded"
+        assert quarantined.state == STATE_HEALTHY
+
+    def test_half_open_transition_visible(self, router, flaky, quarantined):
+        # intercept() flips to half_open when the cool-down has elapsed.
+        assert quarantined.intercept(99.0) is None
+        assert quarantined.state == STATE_HALF_OPEN
+
+
+class TestDegradationActions:
+    def test_bypass_forwards_as_if_unbound(self, router, flaky):
+        router.faults.set_policy(
+            "flaky", FaultPolicy(threshold=1, window=1.0, action=DEGRADE_BYPASS)
+        )
+        router.receive(_pkt(), now=0.0)
+        dom = router.faults.domain("flaky")
+        assert dom.state == STATE_QUARANTINED
+        calls = flaky.calls
+        assert router.receive(_pkt(), now=0.1) == "forwarded"
+        assert flaky.calls == calls
+        assert dom.bypassed == 1
+
+    def test_unload_removes_plugin_and_bindings(self, router, flaky):
+        router.faults.set_policy(
+            "flaky", FaultPolicy(threshold=1, window=1.0, action=DEGRADE_UNLOAD)
+        )
+        # Cache a flow first so a stale slot would be caught.
+        flaky.fail = False
+        router.receive(_pkt(), now=0.0)
+        flaky.fail = True
+        router.receive(_pkt(), now=0.1)
+        dom = router.faults.domain("flaky")
+        assert dom.state == STATE_UNLOADED
+        assert not router.pcu.is_loaded("flaky")
+        assert not router.aiu.filters()
+        calls = flaky.calls
+        assert router.receive(_pkt(), now=0.2) == "forwarded"
+        assert flaky.calls == calls
+        with pytest.raises(ValueError):
+            router.faults.reinstate("flaky")
+
+
+class TestManualControl:
+    def test_manual_quarantine_and_reinstate(self, router, flaky):
+        flaky.fail = False
+        dom = router.faults.quarantine("flaky", until=math.inf)
+        assert router.receive(_pkt(), now=100.0) == "dropped_by_plugin"
+        assert flaky.calls == 0
+        router.faults.reinstate("flaky")
+        assert dom.state == STATE_HEALTHY
+        assert router.receive(_pkt(), now=100.1) == "forwarded"
+        assert flaky.calls == 1
+
+    def test_quarantine_action_override(self, router, flaky):
+        router.faults.quarantine("flaky", until=math.inf, action=DEGRADE_BYPASS)
+        assert router.receive(_pkt(), now=0.0) == "forwarded"
+        assert router.faults.domain("flaky").policy.action == DEGRADE_BYPASS
+
+    def test_reinstate_unknown_plugin(self, router):
+        with pytest.raises(KeyError):
+            router.faults.reinstate("ghost")
+
+    def test_set_policy_preserves_history(self, router, flaky):
+        router.receive(_pkt(), now=0.0)
+        dom = router.faults.set_policy(
+            "flaky", FaultPolicy(threshold=99, window=9.0)
+        )
+        assert dom.total == 1
+        assert len(dom.records) == 1
+        assert dom.policy.threshold == 99
+
+
+class TestHealth:
+    def test_router_health_shape(self, router, flaky):
+        router.faults.set_policy("flaky", FaultPolicy(threshold=1, window=1.0))
+        router.receive(_pkt(), now=0.5)
+        health = router.health()
+        assert health["router"] == router.name
+        assert health["quarantined"] == ["flaky"]
+        snap = health["plugins"]["flaky"]
+        assert snap["state"] == STATE_QUARANTINED
+        assert snap["faults_total"] == 1
+        assert "RuntimeError: boom" in snap["last_fault"]
+
+    def test_healthy_router_health(self, router):
+        health = router.health()
+        assert health["quarantined"] == []
+        assert health["plugins"] == {}
+
+
+class TestFaultPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0},
+            {"window": -1.0},
+            {"cooldown": -0.1},
+            {"action": "explode"},
+            {"ring_size": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPolicy(**kwargs)
+
+    def test_defaults_are_valid(self):
+        policy = FaultPolicy()
+        assert policy.action == DEGRADE_DROP
+        assert policy.threshold >= 1
+
+
+class TestSchedulerFaults:
+    def test_scheduler_enqueue_fault_contained(self, router):
+        plugin = FlakyPlugin()
+        plugin.name = "flaky-sched"
+        router.pcu.load(plugin)
+        scheduler = plugin.create_instance(fail=True)
+        router.set_scheduler("atm1", scheduler)
+        assert router.receive(_pkt(), now=0.0) == "dropped_by_plugin"
+        records = router.faults.records("flaky-sched")
+        assert len(records) == 1
+        assert records[0].error == "boom"

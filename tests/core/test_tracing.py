@@ -81,3 +81,48 @@ class TestTracer:
         traced_router.receive(pkt)
         text = traced_router.tracer.render(pkt)
         assert "(no instance bound)" in text
+
+
+class _BoomInstance:
+    """Minimal faulty instance for tracer tests."""
+
+    def __init__(self, plugin):
+        self.plugin = plugin
+        self.name = "boom0"
+
+    def process(self, packet, ctx):
+        raise ValueError("kaboom")
+
+
+class TestFaultTracing:
+    @pytest.fixture
+    def faulty_router(self, traced_router):
+        from repro.core import Plugin, TYPE_IP_SECURITY
+
+        class BoomPlugin(Plugin):
+            name = "boom"
+            plugin_type = TYPE_IP_SECURITY
+
+        plugin = BoomPlugin()
+        traced_router.pcu.load(plugin)
+        instance = _BoomInstance(plugin)
+        plugin.instances.append(instance)
+        plugin.register_instance(instance, "10.*, *", gate=GATE_IP_SECURITY)
+        return traced_router
+
+    def test_fault_event_rendered(self, faulty_router):
+        pkt = _pkt()
+        faulty_router.receive(pkt)
+        text = faulty_router.tracer.render(pkt)
+        assert "boom0 FAULT ValueError: kaboom -> drop" in text
+        assert "done: dropped_by_plugin" in text
+
+    def test_quarantined_gate_noted(self, faulty_router):
+        import math
+
+        faulty_router.faults.quarantine("boom", until=math.inf)
+        pkt = _pkt()
+        faulty_router.receive(pkt)
+        text = faulty_router.tracer.render(pkt)
+        assert "[quarantined:drop]" in text
+        assert "done: dropped_by_plugin" in text

@@ -157,6 +157,120 @@ class TestPmgrCommands:
         assert not router.pcu.is_loaded("drr")
 
 
+class TestScriptHardening:
+    def test_script_error_names_line_and_command(self, manager):
+        from repro.core.errors import ScriptError
+
+        script = "modload drr\n\n# comment\nmodload warp-drive\n"
+        with pytest.raises(ScriptError) as excinfo:
+            manager.run_script(script)
+        error = excinfo.value
+        assert error.lineno == 4
+        assert error.command == "modload warp-drive"
+        assert "line 4" in str(error)
+        assert "warp-drive" in str(error)
+        # ScriptError is a ConfigurationError: existing handlers still work.
+        assert isinstance(error, ConfigurationError)
+
+    def test_continue_on_error_runs_remaining_lines(self, router):
+        output = []
+        manager = PluginManager(router, output=output.append)
+        executed = manager.run_script(
+            """
+            modload warp-drive
+            modload drr
+            create drr drr0
+            bogus-command
+            bind drr0 - *, *, UDP
+            """,
+            continue_on_error=True,
+        )
+        assert executed == 3
+        assert [e.lineno for e in manager.script_errors] == [2, 5]
+        assert router.pcu.is_loaded("drr")
+        assert router.aiu.filter_count("packet_scheduling") == 1
+        assert sum(1 for line in output if line.startswith("error:")) == 2
+
+    def test_script_errors_reset_between_runs(self, manager):
+        manager.run_script("modload warp-drive", continue_on_error=True)
+        assert len(manager.script_errors) == 1
+        manager.run_script("modload drr", continue_on_error=True)
+        assert manager.script_errors == []
+
+
+class TestFaultCommands:
+    @pytest.fixture
+    def output_manager(self, router):
+        output = []
+        manager = PluginManager(router, output=output.append)
+        manager.run_script(
+            """
+            modload stats
+            create stats s0
+            bind s0 ip_security *, *, UDP
+            """
+        )
+        return manager, output
+
+    def test_quarantine_and_reinstate(self, output_manager, router):
+        manager, output = output_manager
+        manager.run_command("quarantine stats")
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 5000, 53, iif="atm0")
+        assert router.receive(pkt) == "dropped_by_plugin"
+        manager.run_command("reinstate stats")
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 5000, 53, iif="atm0")
+        assert router.receive(pkt) == "forwarded"
+        assert any("quarantined stats" in line for line in output)
+        assert any("reinstated stats" in line for line in output)
+
+    def test_quarantine_with_action(self, output_manager, router):
+        manager, _ = output_manager
+        manager.run_command("quarantine stats bypass")
+        pkt = make_udp("10.0.0.1", "20.0.0.1", 5000, 53, iif="atm0")
+        assert router.receive(pkt) == "forwarded"
+        assert manager.library.instance("s0").packets_processed == 0
+
+    def test_faultpolicy_command(self, output_manager, router):
+        manager, _ = output_manager
+        manager.run_command(
+            "faultpolicy stats threshold=7 window=2.5 action=bypass cooldown=10"
+        )
+        policy = router.faults.domain("stats").policy
+        assert policy.threshold == 7
+        assert policy.window == 2.5
+        assert policy.action == "bypass"
+        assert policy.cooldown == 10
+
+    def test_faultpolicy_rejects_bad_values(self, output_manager):
+        manager, _ = output_manager
+        with pytest.raises(ConfigurationError):
+            manager.run_command("faultpolicy stats threshold=0")
+        with pytest.raises(ConfigurationError):
+            manager.run_command("faultpolicy stats action=explode")
+
+    def test_show_faults_empty(self, output_manager):
+        manager, output = output_manager
+        manager.run_command("show faults")
+        assert "no plugin faults recorded" in output
+
+    def test_show_faults_lists_records(self, output_manager, router):
+        manager, output = output_manager
+
+        def boom(packet, ctx):
+            raise RuntimeError("stats exploded")
+
+        manager.library.instance("s0").process = boom
+        router.receive(make_udp("10.0.0.1", "20.0.0.1", 5000, 53, iif="atm0"))
+        manager.run_command("show faults")
+        assert any("stats: healthy" in line for line in output)
+        assert any("stats exploded" in line for line in output)
+
+    def test_show_health(self, output_manager):
+        manager, output = output_manager
+        manager.run_command("show health")
+        assert any("'router'" in line for line in output)
+
+
 class TestDynamicReconfiguration:
     def test_plugins_swap_under_live_traffic(self, router):
         """§6.1: "these commands can be executed at any time, even when

@@ -37,6 +37,23 @@ class TestCli:
         with pytest.raises(Exception):
             main([str(script)])
 
+    def test_script_error_names_line(self, tmp_path):
+        from repro.core.errors import ScriptError
+
+        script = tmp_path / "bad.conf"
+        script.write_text("modload drr\nmodload warp-drive\n")
+        with pytest.raises(ScriptError) as excinfo:
+            main([str(script)])
+        assert excinfo.value.lineno == 2
+
+    def test_continue_on_error_flag(self, tmp_path, capsys):
+        script = tmp_path / "mixed.conf"
+        script.write_text("modload warp-drive\nmodload drr\nshow plugins\n")
+        assert main(["-k", str(script)]) == 1  # errors occurred, but ran on
+        output = capsys.readouterr().out
+        assert "error: line 1" in output
+        assert "drr" in output
+
 
 class TestMrouteCommand:
     def test_mroute(self, tmp_path, capsys):
