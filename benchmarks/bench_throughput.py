@@ -2,7 +2,7 @@
 
 Unlike the ``bench_fig_*`` / ``bench_table*`` experiments, which report
 *modelled* cycles on the paper's P6/233, this benchmark measures real
-Python packets-per-second on three workloads:
+Python packets-per-second on five workloads:
 
 * ``cached_hit`` — a warmed flow cache; every packet takes the paper's
   fast path (one hash, a few indirections).
@@ -11,6 +11,13 @@ Python packets-per-second on three workloads:
 * ``gates3`` — the Table 3 row-2 setup: a warmed cache plus an empty
   plugin bound at all three gates, so every packet makes three indirect
   plugin calls.
+* ``miss_churn`` — high flow birth rate against a capped flow table:
+  packets round-robin over 4x more flows than the table holds, so every
+  packet misses, installs, and recycles an LRU record.
+* ``filters256`` — the slow path against a large filter set: 256
+  distinct /24 filters installed at one gate, every packet a new flow,
+  so each miss classifies through a 256-filter DAG (the paper's claim is
+  that this costs the same as a small set).
 
 Usage::
 
@@ -18,11 +25,15 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_throughput.py --quick         # CI-sized
     PYTHONPATH=src python benchmarks/bench_throughput.py --save-baseline # record pre-PR pps
 
-``--save-baseline`` writes ``benchmarks/baseline_throughput.json`` (the
-numbers measured at the seed commit live there, committed).  A normal
-run measures the current tree, compares against the stored baseline, and
-writes ``BENCH_throughput.json`` at the repo root with both series and
-the speedup per workload.
+``--save-baseline`` writes ``benchmarks/baseline_throughput.json``.  The
+committed baseline mixes capture points: ``cached_hit`` / ``cache_miss``
+/ ``gates3`` were measured at the seed commit, while ``miss_churn`` and
+``filters256`` (which did not exist then) were measured immediately
+before the compiled slow path landed (PR 3) — both are "pre-optimisation"
+for the speedups they gate.  A normal run measures the current tree,
+compares against the stored baseline, and writes
+``BENCH_throughput.json`` at the repo root with both series and the
+speedup per workload.
 
 The cost model is untouched by wall-clock optimisations — modelled
 cycles are asserted bit-identical by ``tests/perf/test_cost_invariance``
@@ -51,6 +62,9 @@ BASELINE_PATH = os.path.join(HERE, "baseline_throughput.json")
 OUTPUT_PATH = os.path.join(HERE, "..", "BENCH_throughput.json")
 
 FLOWS = 64          # distinct flows in the cached workloads
+CHURN_FLOWS = 4096  # distinct flows in the miss_churn workload...
+CHURN_CAP = 1024    # ...against a flow table capped this small
+FILTERS = 256       # filter-set size of the filters256 workload
 PAYLOAD = b"\x00" * 64
 
 
@@ -60,8 +74,8 @@ class _EmptyPlugin(Plugin):
     instance_class = PluginInstance
 
 
-def build_router(with_gate_plugins: bool = False) -> Router:
-    router = Router(name="bench", gates=DEFAULT_GATES)
+def build_router(with_gate_plugins: bool = False, max_flows=None) -> Router:
+    router = Router(name="bench", gates=DEFAULT_GATES, max_flows=max_flows)
     router.add_interface("atm0", prefix="10.0.0.0/8")
     router.add_interface("atm1", prefix="20.0.0.0/8")
     if with_gate_plugins:
@@ -120,6 +134,52 @@ def make_miss_packets(n: int):
     ]
 
 
+def make_churn_packets(n: int):
+    """``n`` packets round-robinning over ``CHURN_FLOWS`` flows.
+
+    With the flow table capped at ``CHURN_CAP`` records, a flow is always
+    evicted before its next packet arrives, so every lookup misses and
+    every install recycles an LRU record.
+    """
+    return make_cached_packets(n, flows=_flow_addresses(CHURN_FLOWS))
+
+
+def install_bench_filters(router: Router, count: int = FILTERS) -> None:
+    """``count`` distinct unbound /24 source filters at one gate.
+
+    Source prefixes are pairwise disjoint (every 10.a.b.0/24 distinct),
+    so DAG installation never replicates and the ambiguity pre-flight
+    short-circuits; ports/protocol are shaped so the miss traffic below
+    matches exactly one filter and walks the full six-level descent.
+    """
+    if count > 256 * 256:
+        raise ValueError("filter workload supports at most 65536 filters")
+    for i in range(count):
+        router.aiu.create_filter(
+            "ip_security", f"10.{i % 16}.{(i // 16) % 256}.0/24, 20.*, UDP"
+        )
+
+
+def make_filter_packets(n: int):
+    """``n`` brand-new flows spread across the installed /24 filters."""
+    dst = IPAddress.parse("20.0.0.1")
+    sources = [
+        IPAddress.parse(f"10.{i % 16}.{(i // 16) % 16}.1") for i in range(256)
+    ]
+    return [
+        Packet(
+            src=sources[i % 256],
+            dst=dst,
+            protocol=PROTO_UDP,
+            src_port=(i % 60000) + 1024,
+            dst_port=(i // 60000) + 1024,
+            iif="atm0",
+            payload=PAYLOAD,
+        )
+        for i in range(n)
+    ]
+
+
 def _time_pass(router: Router, packets, use_batch: bool) -> float:
     receive_batch = getattr(router, "receive_batch", None)
     start = time.perf_counter()
@@ -132,22 +192,32 @@ def _time_pass(router: Router, packets, use_batch: bool) -> float:
     return time.perf_counter() - start
 
 
+WORKLOADS = ("cached_hit", "cache_miss", "gates3", "miss_churn", "filters256")
+
+
 def run_workload(name: str, n: int, reps: int, use_batch: bool) -> float:
     """Best-of-``reps`` packets/second for one workload."""
     best = 0.0
     for _ in range(reps):
+        warmed = 0
         if name == "cache_miss":
             router = build_router()           # fresh table: every packet misses
             packets = make_miss_packets(n)
+        elif name == "miss_churn":
+            router = build_router(max_flows=CHURN_CAP)
+            packets = make_churn_packets(n)
+        elif name == "filters256":
+            router = build_router()
+            install_bench_filters(router)
+            packets = make_filter_packets(n)
         else:
             router = build_router(with_gate_plugins=(name == "gates3"))
             for warm in make_cached_packets(FLOWS):
                 router.receive(warm)
+            warmed = FLOWS
             packets = make_cached_packets(n)
         elapsed = _time_pass(router, packets, use_batch)
-        expected = (
-            router.counters["forwarded"] - (0 if name == "cache_miss" else FLOWS)
-        )
+        expected = router.counters["forwarded"] - warmed
         if expected != n:
             raise RuntimeError(f"{name}: forwarded {expected} of {n} packets")
         best = max(best, n / elapsed)
@@ -159,7 +229,7 @@ def measure(quick: bool, use_batch: bool) -> dict:
     reps = 2 if quick else 4
     return {
         name: round(run_workload(name, n, reps, use_batch), 1)
-        for name in ("cached_hit", "cache_miss", "gates3")
+        for name in WORKLOADS
     }
 
 
@@ -180,9 +250,18 @@ def main(argv=None) -> int:
 
     results = measure(args.quick, use_batch=not args.no_batch)
     if args.save_baseline:
+        # Merge: committed pre-optimisation captures are preserved; only
+        # workloads that have no baseline yet get one (so adding a new
+        # workload records its pre-PR number without clobbering seed-era
+        # entries).
+        merged = {}
+        if os.path.exists(BASELINE_PATH):
+            with open(BASELINE_PATH) as fh:
+                merged = json.load(fh).get("pps", {})
+        merged.update({k: v for k, v in results.items() if k not in merged})
         with open(BASELINE_PATH, "w") as fh:
-            json.dump({"pps": results, "quick": args.quick}, fh, indent=2)
-        print(f"baseline saved to {BASELINE_PATH}: {results}")
+            json.dump({"pps": merged, "quick": args.quick}, fh, indent=2)
+        print(f"baseline saved to {BASELINE_PATH}: {merged}")
         return 0
 
     baseline = None
@@ -190,7 +269,7 @@ def main(argv=None) -> int:
         with open(BASELINE_PATH) as fh:
             baseline = json.load(fh)["pps"]
     report = {
-        "workloads": ["cached_hit", "cache_miss", "gates3"],
+        "workloads": list(WORKLOADS),
         "packets_per_second": results,
         "baseline_packets_per_second": baseline,
     }

@@ -26,4 +26,31 @@ echo "== throughput benchmark =="
 # shellcheck disable=SC2086  # intentional word splitting of BENCH_ARGS
 PYTHONPATH=src python benchmarks/bench_throughput.py $BENCH_ARGS
 
+echo "== slow-path regression floor =="
+# The compiled slow path (PR 3) must not regress: cache_miss and
+# miss_churn are gated against their pre-optimisation baselines.  Floors
+# are set well below the measured speedups (cache_miss ~3x, miss_churn
+# ~1.9x at time of writing) to absorb CI timing noise while still
+# catching a real regression to the interpreted walk.
+python - <<'EOF'
+import json, sys
+
+FLOORS = {"cache_miss": 2.0, "miss_churn": 1.2}
+with open("BENCH_throughput.json") as fh:
+    report = json.load(fh)
+speedups = report.get("speedup", {})
+failed = False
+for workload, floor in FLOORS.items():
+    got = speedups.get(workload)
+    if got is None:
+        print(f"FAIL: no speedup recorded for {workload}")
+        failed = True
+    elif got < floor:
+        print(f"FAIL: {workload} speedup {got} below floor {floor}")
+        failed = True
+    else:
+        print(f"ok: {workload} speedup {got} >= {floor}")
+sys.exit(1 if failed else 0)
+EOF
+
 echo "== done: see BENCH_throughput.json =="

@@ -1,0 +1,22 @@
+#!/bin/sh
+# The one CI entry point: performance gate then robustness gate.
+#
+# Usage: scripts/ci_check.sh [--full]
+#   --full   forwarded to bench_check.sh (full-sized benchmark)
+#
+# bench_check.sh runs the tier-1 suite (including the cost-model
+# invariance tests), the throughput benchmark, and the slow-path
+# regression floor; chaos_check.sh runs the seeded fault-injection soak
+# and the fault-containment suites.  Exits non-zero if either gate fails.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==== performance gate (scripts/bench_check.sh) ===="
+sh scripts/bench_check.sh "$@"
+
+echo "==== robustness gate (scripts/chaos_check.sh) ===="
+sh scripts/chaos_check.sh
+
+echo "==== ci_check: all gates passed ===="

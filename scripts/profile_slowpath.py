@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""cProfile harness for the classification slow path.
+
+Profiles the flow-miss workloads of ``benchmarks/bench_throughput.py``
+(the traffic shapes the compiled classifier exists for) and prints the
+top functions by cumulative and internal time — the loop used to find
+and verify every optimisation documented in docs/PERFORMANCE.md ("Slow
+path").
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_slowpath.py                 # cache_miss
+    PYTHONPATH=src python scripts/profile_slowpath.py miss_churn
+    PYTHONPATH=src python scripts/profile_slowpath.py filters256 -n 50000
+    PYTHONPATH=src python scripts/profile_slowpath.py --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import importlib.util
+import os
+import pstats
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "src"))
+
+_BENCH_PATH = os.path.join(HERE, "..", "benchmarks", "bench_throughput.py")
+
+WORKLOADS = ("cache_miss", "miss_churn", "filters256")
+WARMUP = 100  # packets run before profiling so lazy compiles don't skew
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_throughput", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def build(bench, workload: str, n: int):
+    if workload == "cache_miss":
+        router = bench.build_router()
+        packets = bench.make_miss_packets(n + WARMUP)
+    elif workload == "miss_churn":
+        router = bench.build_router(max_flows=bench.CHURN_CAP)
+        packets = bench.make_churn_packets(n + WARMUP)
+    elif workload == "filters256":
+        router = bench.build_router()
+        bench.install_bench_filters(router)
+        packets = bench.make_filter_packets(n + WARMUP)
+    else:
+        raise SystemExit(f"unknown workload {workload!r}; known: {WORKLOADS}")
+    return router, packets
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "workload", nargs="?", default="cache_miss", choices=WORKLOADS
+    )
+    parser.add_argument("-n", type=int, default=20_000, help="packets to profile")
+    parser.add_argument(
+        "--sort",
+        default="both",
+        choices=("cumulative", "tottime", "both"),
+        help="pstats sort order (default: print both)",
+    )
+    parser.add_argument("--top", type=int, default=25, help="rows per listing")
+    parser.add_argument(
+        "-o", "--output", default=None, help="also dump raw pstats to this file"
+    )
+    args = parser.parse_args(argv)
+
+    bench = _load_bench()
+    router, packets = build(bench, args.workload, args.n)
+    router.receive_batch(packets[:WARMUP])
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    router.receive_batch(packets[WARMUP:])
+    profiler.disable()
+
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"raw profile written to {args.output}")
+
+    orders = ("cumulative", "tottime") if args.sort == "both" else (args.sort,)
+    for order in orders:
+        print(f"\n== {args.workload}: top {args.top} by {order} ==")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(order).print_stats(
+            args.top
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,19 @@ class AIU:
         # the router can cache its active-gate plan (see Router).
         self._gate_filter_counts: Dict[str, int] = {g: 0 for g in self.gates}
         self.plan_epoch = 0
+        # Per-gate classification counters: [lookups, compiled, matches].
+        # ``lookups`` counts slow-path filter-table lookups at the gate,
+        # ``compiled`` how many of those took the compiled (unmetered)
+        # walk, ``matches`` how many returned a filter record.
+        self._gate_class_stats: Dict[str, List[int]] = {
+            g: [0, 0, 0] for g in self.gates
+        }
+        # Per-width classification plan: only gates that actually have a
+        # table for the family, with gate index / stats / table resolved
+        # once (rebuilt whenever a table is created; tables are never
+        # destroyed).  The slow path iterates this instead of probing
+        # ``_tables`` with a fresh tuple key per gate per packet.
+        self._width_plans: Dict[int, Tuple[Tuple[str, int, List[int], object], ...]] = {}
 
     # ------------------------------------------------------------------
     # Gate bookkeeping
@@ -119,7 +132,20 @@ class AIU:
             else:
                 table = self._table_factory(width=width)
             self._tables[key] = table
+            self._rebuild_width_plans()
         return table
+
+    def _rebuild_width_plans(self) -> None:
+        rows: Dict[int, List[Tuple[int, str, object]]] = {}
+        for (gate, width), table in self._tables.items():
+            rows.setdefault(width, []).append((self._gate_index[gate], gate, table))
+        self._width_plans = {
+            width: tuple(
+                (gate, index, self._gate_class_stats[gate], table)
+                for index, gate, table in sorted(entries)
+            )
+            for width, entries in rows.items()
+        }
 
     def _tables_for_filter(self, gate: str, flt: Filter) -> List[object]:
         family = flt.family
@@ -214,7 +240,7 @@ class AIU:
         for flow in list(self.flow_table):
             stale = False
             for slot in flow.slots:
-                if slot.instance is instance:
+                if slot is not None and slot.instance is instance:
                     if slot.filter_record is not None:
                         slot.filter_record.flows.discard(flow)
                         slot.filter_record = None
@@ -283,15 +309,23 @@ class AIU:
             from .filters import flow_key_of
 
             record = FlowRecord(flow_key_of(packet), len(self.gates), now)
-        for gate_name in self.gates:
-            table = self._tables.get((gate_name, width))
-            slot = record.slot(self._gate_index[gate_name])
-            if table is None:
-                continue
+        # The compiled walk is only legal when nothing observes the
+        # lookup: NULL_METER means no meter (the router additionally
+        # never routes metered/traced packets here with NULL_METER, see
+        # Router._run_gate), so zero modelled cost is unobservable.
+        fast = meter is NULL_METER
+        for _gate_name, index, stats, table in self._width_plans.get(width, ()):
             self.filter_lookups += 1
-            filter_record = table.lookup(packet, meter)
+            stats[0] += 1
+            if fast:
+                stats[1] += 1
+                filter_record = table.lookup_fast(packet)
+            else:
+                filter_record = table.lookup(packet, meter)
             if filter_record is None:
                 continue
+            stats[2] += 1
+            slot = record.slot(index)
             slot.instance = filter_record.instance
             slot.filter_record = filter_record
             if install:
@@ -302,6 +336,26 @@ class AIU:
             if binder is not None:
                 binder(record, slot)
         return record
+
+    def ensure_compiled(self) -> None:
+        """Pre-warm every filter table's compiled form (an int compare
+        per table when nothing changed).  Called by the router before a
+        batch so flow misses inside the batch never pay compile latency."""
+        for table in self._tables.values():
+            table.ensure_compiled()
+
+    def classification_stats(self) -> Dict[str, dict]:
+        """Per-gate slow-path counters (``pmgr show aiu``)."""
+        out: Dict[str, dict] = {}
+        for gate in self.gates:
+            lookups, compiled, matches = self._gate_class_stats[gate]
+            out[gate] = {
+                "filters": self._gate_filter_counts[gate],
+                "lookups": lookups,
+                "compiled": compiled,
+                "matches": matches,
+            }
+        return out
 
     def instance_for(
         self, packet: Packet, gate: str, cycles=NULL_METER
@@ -318,7 +372,7 @@ class AIU:
     # ------------------------------------------------------------------
     def _notify_flow_removed(self, record: FlowRecord) -> None:
         for slot in record.slots:
-            if slot.instance is not None:
+            if slot is not None and slot.instance is not None:
                 callback = getattr(slot.instance, "on_flow_removed", None)
                 if callback is not None:
                     callback(record, slot)

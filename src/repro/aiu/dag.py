@@ -19,16 +19,27 @@ worst-case memory blow-up the paper concedes for "ambiguous filters".
 Cost accounting reproduces Table 2: two function-pointer accesses per
 lookup (BMP function + index hash), one DAG-edge access per level, the
 BMP engine's probes per address level, and one access per port level.
+
+**Compiled slow path.**  :meth:`DagFilterTable.lookup_fast` is a
+wall-clock specialization of :meth:`DagFilterTable.lookup`: the DAG is
+flattened — lazily, invalidated by a per-table ``epoch`` bumped on every
+install/remove — into per-level plain-dict / sorted-interval tables with
+each leaf collapsed to its precomputed best :class:`FilterRecord`, so a
+flow-miss classification is ~6 dict/bisect probes instead of a recursive
+node walk through matcher objects.  It charges zero modelled cost and
+must only be taken when no meter or tracer observes the lookup (the AIU
+enforces this); the metered walk above stays the cost-model spec.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..net.addresses import Prefix
 from ..net.packet import Packet
 from ..sim.cost import NULL_METER
-from .filters import Filter, FilterError, PortSpec
+from .filters import Filter, FilterError, PORT_MAX, PortSpec
 from .matchers import (
     AmbiguousFilterError,
     ExactMatcher,
@@ -41,6 +52,15 @@ from .records import FilterRecord
 
 #: Level names in descent order (§5.1's six-tuple).
 LEVELS = ("src", "dst", "protocol", "sport", "dport", "iif")
+
+# Compiled-node kind tags (see DagFilterTable._compile_node).  A compiled
+# node is the 3-tuple ``(kind, a, b)``:
+#   _C_PREFIX: a = ((shift, {top_bits: child}), ...) longest length first
+#   _C_RANGE:  a = sorted segment boundaries, b = children (len(a) + 1)
+#   _C_EXACT:  a = {label: child}, b = wildcard child or None
+# Children at the last level are the leaf's precomputed best FilterRecord
+# (or None for an empty leaf).
+_C_PREFIX, _C_RANGE, _C_EXACT = 0, 1, 2
 
 
 def _prefixes_overlap(a: Prefix, b: Prefix) -> bool:
@@ -103,6 +123,11 @@ class DagFilterTable:
         )
         self._root = _Node(0, self._make_matcher(0), self)
         self._records: List[FilterRecord] = []
+        #: Bumped on every install/remove; lookup_fast recompiles lazily
+        #: when it diverges from the compiled epoch.
+        self.epoch = 0
+        self._compiled_epoch = -1
+        self._compiled_root = None
         # Packet-field extractors, one per level.
         self._extractors: Tuple[Callable[[Packet], object], ...] = (
             lambda p: p.src.value,
@@ -159,6 +184,7 @@ class DagFilterTable:
                 self._check_ambiguity(record.filter, existing.filter)
         self._insert(self._root, 0, record, labels)
         self._records.append(record)
+        self.epoch += 1
 
     @staticmethod
     def _check_ambiguity(new: Filter, old: Filter) -> None:
@@ -266,6 +292,7 @@ class DagFilterTable:
         record.via[:] = kept_via
         if not record.leaves:
             record.active = False
+        self.epoch += 1
         return True
 
     # ------------------------------------------------------------------
@@ -300,6 +327,97 @@ class DagFilterTable:
             if best is None or record.sort_key() > best.sort_key():
                 best = record
         return best
+
+    # ------------------------------------------------------------------
+    # Compiled lookup (wall-clock slow-path specialization)
+    # ------------------------------------------------------------------
+    def ensure_compiled(self) -> None:
+        """Flatten the DAG if any install/remove happened since the last
+        compile (an int compare when nothing changed)."""
+        if self._compiled_epoch != self.epoch:
+            self._compiled_root = self._compile_node(self._root, 0)
+            self._compiled_epoch = self.epoch
+
+    def _compile_node(self, node: _Node, level: int):
+        if level == len(LEVELS):
+            # Leaf: collapse the replica set to its precomputed best.
+            best: Optional[FilterRecord] = None
+            for record in node.filters:
+                if best is None or record.sort_key() > best.sort_key():
+                    best = record
+            return best
+        children = {
+            label: self._compile_node(child, level + 1)
+            for label, child in node.edges.items()
+        }
+        name = LEVELS[level]
+        if name in ("src", "dst"):
+            # Per-length dict tables probed longest first — exactly the
+            # BMP engine's longest-match over the edge labels.
+            by_length: Dict[int, Dict[int, object]] = {}
+            for label, child in children.items():
+                by_length.setdefault(label.length, {})[label.key_bits()] = child
+            tables = tuple(
+                (self.width - length, by_length[length])
+                for length in sorted(by_length, reverse=True)
+            )
+            return (_C_PREFIX, tables, None)
+        if name in ("sport", "dport"):
+            # Flatten the laminar port labels into elementary segments:
+            # cut at every label boundary, then resolve each segment once
+            # through the matcher itself so compiled and interpreted
+            # most-specific semantics cannot diverge.
+            cuts = set()
+            for label in node.edges:
+                cuts.add(label.low)
+                cuts.add(label.high + 1)
+            boundaries = sorted(c for c in cuts if 0 < c <= PORT_MAX)
+            kids = []
+            for index in range(len(boundaries) + 1):
+                probe = 0 if index == 0 else boundaries[index - 1]
+                label = node.matcher.best_match(probe)
+                kids.append(None if label is None else children[label])
+            return (_C_RANGE, boundaries, kids)
+        wildcard_child = children.get(WILDCARD)
+        exact = {
+            label: child
+            for label, child in children.items()
+            if label != WILDCARD
+        }
+        return (_C_EXACT, exact, wildcard_child)
+
+    def lookup_fast(self, packet: Packet) -> Optional[FilterRecord]:
+        """Compiled equivalent of :meth:`lookup`: same record for every
+        packet (differentially fuzzed), zero modelled cost, no meter."""
+        if self._compiled_epoch != self.epoch:
+            self._compiled_root = self._compile_node(self._root, 0)
+            self._compiled_epoch = self.epoch
+        node = self._compiled_root
+        values = (
+            packet.src.value,
+            packet.dst.value,
+            packet.protocol,
+            packet.src_port,
+            packet.dst_port,
+            packet.iif,
+        )
+        for level in range(6):
+            kind, a, b = node
+            value = values[level]
+            if kind == _C_PREFIX:
+                child = None
+                for shift, table in a:
+                    child = table.get(value >> shift)
+                    if child is not None:
+                        break
+            elif kind == _C_RANGE:
+                child = b[bisect_right(a, value)]
+            else:
+                child = a.get(value, b)
+            if child is None:
+                return None
+            node = child
+        return node
 
     def lookup_all(self, packet: Packet) -> List[FilterRecord]:
         """All filters matching the packet (testing/diagnostics; uses the

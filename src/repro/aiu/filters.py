@@ -270,33 +270,73 @@ class Filter:
         return f"<{self.src}, {self.dst}, {proto}, {self.sport}, {self.dport}, {iif}>"
 
 
-@dataclass(frozen=True, slots=True)
 class FlowKey:
     """A fully-specified flow identity — a flow-table key.
 
     Per §5.2 the hash uses the five header fields; the incoming interface
     is carried in the record but (like the paper's implementation) is not
     part of the hash input.
+
+    A plain ``__slots__`` class rather than a frozen dataclass: one key
+    is built per flow birth, and the frozen-dataclass ``__init__`` costs
+    seven ``object.__setattr__`` calls where this costs seven stores.
     """
 
-    src: int
-    src_width: int
-    dst: int
-    protocol: int
-    sport: int
-    dport: int
-    iif: Optional[str] = None
+    __slots__ = ("src", "src_width", "dst", "protocol", "sport", "dport", "iif")
+
+    def __init__(
+        self,
+        src: int,
+        src_width: int,
+        dst: int,
+        protocol: int,
+        sport: int,
+        dport: int,
+        iif: Optional[str] = None,
+    ):
+        self.src = src
+        self.src_width = src_width
+        self.dst = dst
+        self.protocol = protocol
+        self.sport = sport
+        self.dport = dport
+        self.iif = iif
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowKey):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.src_width == other.src_width
+            and self.dst == other.dst
+            and self.protocol == other.protocol
+            and self.sport == other.sport
+            and self.dport == other.dport
+            and self.iif == other.iif
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.src, self.src_width, self.dst, self.protocol, self.sport, self.dport, self.iif)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowKey(src={self.src}, src_width={self.src_width}, dst={self.dst}, "
+            f"protocol={self.protocol}, sport={self.sport}, dport={self.dport}, "
+            f"iif={self.iif!r})"
+        )
 
     @classmethod
     def of(cls, packet: Packet) -> "FlowKey":
         return cls(
-            src=packet.src.value,
-            src_width=packet.src.width,
-            dst=packet.dst.value,
-            protocol=packet.protocol,
-            sport=packet.src_port,
-            dport=packet.dst_port,
-            iif=packet.iif,
+            packet.src.value,
+            packet.src.width,
+            packet.dst.value,
+            packet.protocol,
+            packet.src_port,
+            packet.dst_port,
+            packet.iif,
         )
 
     def hash_index(self, mask: int) -> int:

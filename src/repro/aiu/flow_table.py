@@ -77,12 +77,24 @@ class FlowTable:
     # Record pool
     # ------------------------------------------------------------------
     def _grow_pool(self) -> None:
-        """Add ``next_growth`` records (exponential growth per §5.2)."""
+        """Add ``next_growth`` records (exponential growth per §5.2).
+
+        Pool records are blank shells: ``reinit`` assigns every field
+        before first use, so running ``__init__`` here would be pure
+        waste on the allocation path.  Gate slots are NOT preallocated —
+        exponential growth overshoots demand, and ``reinit`` builds the
+        slot list on a record's first use (then scrubs it in place on
+        every recycle).
+        """
         grow = self._next_growth
         if self.max_records is not None:
             grow = max(0, min(grow, self.max_records - self._allocated))
+        free = self._free
+        new = FlowRecord.__new__
         for _ in range(grow):
-            self._free.append(FlowRecord(None, 0))  # placeholder, re-keyed on use
+            record = new(FlowRecord)
+            record.slots = ()
+            free.append(record)
         self._allocated += grow
         self._next_growth *= 2
 
@@ -148,12 +160,23 @@ class FlowTable:
         return packet.flow_fold32() & self._mask
 
     def lookup(self, packet: Packet, meter=NULL_METER, cycles=NULL_METER, now: float = 0.0) -> Optional[FlowRecord]:
-        """Find the cached flow record for a packet (the fast path)."""
-        index = self._index_for(packet, cycles)
-        meter.access(1, "flow_bucket")
+        """Find the cached flow record for a packet (the fast path).
+
+        The ``is NULL_METER`` guards skip no-op meter calls on the
+        unmetered route; a real meter sees exactly the charges it always
+        did (asserted by tests/perf/test_cost_invariance).
+        """
+        if cycles is NULL_METER and not self.use_flow_label:
+            index = packet.flow_fold32() & self._mask
+        else:
+            index = self._index_for(packet, cycles)
+        metered = meter is not NULL_METER
+        if metered:
+            meter.access(1, "flow_bucket")
         record = self._buckets[index]
         while record is not None:
-            meter.access(1, "flow_chain")
+            if metered:
+                meter.access(1, "flow_chain")
             if record.key.matches_packet(packet):
                 record.touch(now, packet.length)
                 if self._lru_head is not record:
@@ -174,7 +197,13 @@ class FlowTable:
         """
         key = flow_key_of(packet)
         record = self._allocate(key, now)
-        index = self._index_for(packet)
+        # Same bucket selection as _index_for, minus the modelled-cost
+        # charge: the paper's accounting charges FLOW_HASH once per miss
+        # (on the lookup), and the Python fold is cached on the packet.
+        if self.use_flow_label and packet.is_ipv6 and packet.flow_label:
+            index = packet.flow_label_fold32() & self._mask
+        else:
+            index = packet.flow_fold32() & self._mask
         record.bucket = index
         self._chain_append(index, record)
         self._lru_push_front(record)
@@ -203,7 +232,7 @@ class FlowTable:
         if self.on_remove is not None:
             self.on_remove(record)
         for slot in record.slots:
-            if slot.filter_record is not None:
+            if slot is not None and slot.filter_record is not None:
                 slot.filter_record.flows.discard(record)
         # O(1) intrusive unlink (previously an O(chain) list.remove).
         prev, nxt = record.hash_prev, record.hash_next

@@ -46,6 +46,18 @@ class LinearFilterTable:
                     best = record
         return best
 
+    def lookup_fast(self, packet: Packet) -> Optional[FilterRecord]:
+        """Meter-free scan — same result as :meth:`lookup`, no charges."""
+        best: Optional[FilterRecord] = None
+        for record in self._records:
+            if record.filter.matches(packet):
+                if best is None or record.sort_key() > best.sort_key():
+                    best = record
+        return best
+
+    def ensure_compiled(self) -> None:
+        """Nothing to compile; present so the AIU can pre-warm any table."""
+
     def lookup_all(self, packet: Packet) -> List[FilterRecord]:
         matches = [r for r in self._records if r.filter.matches(packet)]
         return sorted(matches, key=lambda r: r.sort_key(), reverse=True)

@@ -31,6 +31,7 @@ class FilterRecord:
         "private",
         "priority",
         "seq",
+        "_key",
         "active",
         "leaves",
         "via",
@@ -50,6 +51,10 @@ class FilterRecord:
         self.private: object = None      # plugin-owned hard state
         self.priority = priority
         self.seq = next(_record_seq)
+        # specificity/priority/seq never change after construction, so
+        # the sort key is computed once (leaf collapse in the compiled
+        # DAG and hot lookups compare it millions of times).
+        self._key = (flt.specificity(), priority, self.seq)
         self.active = True
         # DAG bookkeeping: leaf nodes holding this record and the
         # (node, label) via-list entries, for O(1) removal.
@@ -61,7 +66,7 @@ class FilterRecord:
     def sort_key(self) -> tuple:
         """Most-specific-filter ordering: specificity, then priority, then
         recency (the latest installed wins exact ties)."""
-        return (self.filter.specificity(), self.priority, self.seq)
+        return self._key
 
     def __repr__(self) -> str:
         bound = type(self.instance).__name__ if self.instance is not None else "unbound"
@@ -124,9 +129,25 @@ class FlowRecord:
         self.route_version: int = -1
 
     def reinit(self, key: FlowKey, gate_count: int, now: float) -> None:
-        """Reset a recycled record for a new flow (free-list reuse, §5.2)."""
+        """Reset a recycled record for a new flow (free-list reuse, §5.2).
+
+        Gate slots are lazy: a fresh record starts with ``[None] *
+        gate_count`` and :meth:`slot` materializes a GateSlot on first
+        access — a flow that never matches a filter allocates none.  A
+        recycled record keeps its materialized GateSlots, scrubbed in
+        place rather than reallocated — flow births are the hot part of
+        the miss path.
+        """
         self.key = key
-        self.slots = [GateSlot() for _ in range(gate_count)]
+        slots = self.slots
+        if len(slots) == gate_count:
+            for slot in slots:
+                if slot is not None:
+                    slot.instance = None
+                    slot.private = None
+                    slot.filter_record = None
+        else:
+            self.slots = [None] * gate_count
         self.created = now
         self.last_used = now
         self.packets = 0
@@ -140,7 +161,11 @@ class FlowRecord:
         self.route_version = -1
 
     def slot(self, gate_index: int) -> GateSlot:
-        return self.slots[gate_index]
+        slots = self.slots
+        entry = slots[gate_index]
+        if entry is None:
+            entry = slots[gate_index] = GateSlot()
+        return entry
 
     def touch(self, now: float, size: int = 0) -> None:
         self.last_used = now
@@ -148,7 +173,11 @@ class FlowRecord:
         self.bytes += size
 
     def filter_records(self) -> List[FilterRecord]:
-        return [s.filter_record for s in self.slots if s.filter_record is not None]
+        return [
+            s.filter_record
+            for s in self.slots
+            if s is not None and s.filter_record is not None
+        ]
 
     def __repr__(self) -> str:
         return f"FlowRecord({self.key}, pkts={self.packets})"

@@ -8,12 +8,20 @@ prefixes to opaque values.
 All engines accept a meter object (:class:`repro.sim.cost.MemoryMeter`)
 on lookups and report one ``access`` per dependent memory reference, so
 the Table 2 experiment can count worst-case accesses.
+
+Every engine additionally carries a **compiled fast path**
+(:meth:`BMPEngine.lookup_fast`): per-length hash tables over plain dicts,
+probed longest length first, rebuilt lazily whenever the mutation epoch
+moves.  The compiled path charges no modelled cost and must only be used
+where no meter or tracer observes the lookup (see docs/PERFORMANCE.md,
+"Slow path"); the metered :meth:`BMPEngine.lookup_entry` remains the
+cost-model specification.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..net.addresses import Prefix
 from ..sim.cost import NULL_METER
@@ -26,6 +34,12 @@ class BMPEngine(ABC):
         if width not in (32, 128):
             raise ValueError(f"unsupported address width {width}")
         self.width = width
+        #: Bumped by every insert/remove; the compiled tables below are
+        #: rebuilt lazily when it diverges from ``_fast_epoch``.
+        self.mutation_epoch = 0
+        self._fast_epoch = -1
+        # ((shift, {top_bits: (prefix, value)}), ...) longest length first.
+        self._fast_tables: Tuple[Tuple[int, Dict[int, Tuple[Prefix, object]]], ...] = ()
 
     def _check(self, prefix: Prefix) -> None:
         if prefix.width != self.width:
@@ -50,6 +64,49 @@ class BMPEngine(ABC):
     def lookup(self, addr: int, meter=NULL_METER) -> Optional[object]:
         """Return the value of the longest matching prefix, or None."""
         entry = self.lookup_entry(addr, meter)
+        return entry[1] if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # Compiled fast path (zero modelled cost; see module docstring)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def entries(self) -> Iterator[Tuple[Prefix, object]]:
+        """Yield every installed (prefix, value) pair."""
+
+    def _mutated(self) -> None:
+        """Engines call this from every insert/remove."""
+        self.mutation_epoch += 1
+
+    def _compile_fast(self) -> None:
+        by_length: Dict[int, Dict[int, Tuple[Prefix, object]]] = {}
+        for prefix, value in self.entries():
+            by_length.setdefault(prefix.length, {})[prefix.key_bits()] = (
+                prefix,
+                value,
+            )
+        # A /0 default lands in the length-0 table: shift == width, so
+        # ``addr >> shift`` is 0 == its key_bits — probed last, as the
+        # least specific match.
+        self._fast_tables = tuple(
+            (self.width - length, by_length[length])
+            for length in sorted(by_length, reverse=True)
+        )
+        self._fast_epoch = self.mutation_epoch
+
+    def lookup_entry_fast(self, addr: int) -> Optional[Tuple[Prefix, object]]:
+        """Compiled equivalent of :meth:`lookup_entry`: probe the
+        per-length dicts longest first; the first hit is the best match."""
+        if self._fast_epoch != self.mutation_epoch:
+            self._compile_fast()
+        for shift, table in self._fast_tables:
+            entry = table.get(addr >> shift)
+            if entry is not None:
+                return entry
+        return None
+
+    def lookup_fast(self, addr: int) -> Optional[object]:
+        """Compiled equivalent of :meth:`lookup` (no meter, no charges)."""
+        entry = self.lookup_entry_fast(addr)
         return entry[1] if entry is not None else None
 
     @abstractmethod

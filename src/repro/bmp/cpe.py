@@ -13,7 +13,7 @@ Default strides: 8/8/8/8 for IPv4 (4 accesses) and 16×8 for IPv6
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..net.addresses import Prefix
 from ..sim.cost import NULL_METER
@@ -52,6 +52,19 @@ class MultibitTrie(BMPEngine):
     def insert(self, prefix: Prefix, value: object) -> None:
         self._check(prefix)
         self._prefixes[prefix] = value
+        self._mutated()
+        if self._dirty:
+            # A remove is pending a lazy rebuild, so the in-place trie is
+            # stale (it still holds the removed prefix's expanded slots).
+            # Inserting into it would order this insert *before* the
+            # rebuild that drops the removed prefix — and the rebuild
+            # re-derives everything from ``_prefixes`` anyway, which now
+            # includes this entry.  Pinning the ordering here (skip the
+            # in-place mutation, let the rebuild cover it) means no
+            # reader can ever observe the removed prefix shadowing or
+            # outliving a newer insert, even if a future code path reads
+            # the trie without checking ``_dirty`` first.
+            return
         if prefix.length == 0:
             self._default = (prefix, value)
             return
@@ -91,7 +104,11 @@ class MultibitTrie(BMPEngine):
             return False
         del self._prefixes[prefix]
         self._dirty = True
+        self._mutated()
         return True
+
+    def entries(self) -> Iterator[Tuple[Prefix, object]]:
+        return iter(self._prefixes.items())
 
     def _rebuild(self) -> None:
         self._root = _Node()

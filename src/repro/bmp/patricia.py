@@ -63,6 +63,7 @@ class PatriciaTrie(BMPEngine):
     # ------------------------------------------------------------------
     def insert(self, prefix: Prefix, value: object) -> None:
         self._check(prefix)
+        self._mutated()
         node = self._root
         bits = prefix.key_bits()
         remaining = prefix.length
@@ -104,6 +105,7 @@ class PatriciaTrie(BMPEngine):
             return False
         node.entry = None
         self._count -= 1
+        self._mutated()
         # No structural cleanup: empty internal nodes are harmless and the
         # paper's kernel similarly leaves radix innards in place.
         return True

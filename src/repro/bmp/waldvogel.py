@@ -22,7 +22,7 @@ rebuild is both simpler and how such tables are deployed in practice).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..net.addresses import Prefix
 from ..sim.cost import NULL_METER
@@ -83,14 +83,19 @@ class BinarySearchOnLengths(BMPEngine):
         self._check(prefix)
         self._prefixes[prefix] = value
         self._dirty = True
+        self._mutated()
 
     def remove(self, prefix: Prefix) -> bool:
         self._check(prefix)
         if prefix in self._prefixes:
             del self._prefixes[prefix]
             self._dirty = True
+            self._mutated()
             return True
         return False
+
+    def entries(self) -> Iterator[Tuple[Prefix, object]]:
+        return iter(self._prefixes.items())
 
     # ------------------------------------------------------------------
     # Build

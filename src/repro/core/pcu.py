@@ -69,7 +69,7 @@ class PluginControlUnit:
             }
             for flow in self.aiu.flow_table:
                 for slot in flow.slots:
-                    if getattr(slot.instance, "plugin", None) is plugin:
+                    if slot is not None and getattr(slot.instance, "plugin", None) is plugin:
                         strays.setdefault(id(slot.instance), slot.instance)
             for stray in strays.values():
                 self.aiu.purge_instance(stray)

@@ -238,6 +238,10 @@ class Router:
         if cycles is not NULL_METER or self.tracer is not None:
             return [self.receive(p, now=now, cycles=cycles) for p in packets]
         self._refresh_plan()
+        # Pre-warm the compiled classifier tables so flow misses inside
+        # the batch pay dict probes, not compile latency (epoch compare
+        # per table when nothing changed).
+        self.aiu.ensure_compiled()
         fast = self._receive_fast
         pool = self._ctx_pool
         return [fast(packet, now, pool) for packet in packets]
@@ -318,7 +322,8 @@ class Router:
         if record is None:
             instance, record = self.aiu.classify(packet, gate, now=now)
         else:
-            instance = record.slots[gate_index].instance
+            slot = record.slots[gate_index]
+            instance = slot.instance if slot is not None else None
         if instance is None:
             return Verdict.CONTINUE, None
         probe = False
@@ -335,7 +340,7 @@ class Router:
                 ctx_pool[gate] = ctx
             ctx.now = now
             ctx.cycles = NULL_METER
-            ctx.slot = record.slots[gate_index]
+            ctx.slot = record.slot(gate_index)
             ctx.flow = record
             ctx.out_interface = oif
         else:
@@ -343,7 +348,7 @@ class Router:
                 router=self,
                 gate=gate,
                 now=now,
-                slot=record.slots[gate_index],
+                slot=record.slot(gate_index),
                 flow=record,
                 out_interface=oif,
             )
@@ -391,12 +396,12 @@ class Router:
             # add/remove) falls back to the real longest-prefix match.
             if record.route_version == table.version and record.route is not None:
                 return record.route
-            route = table.lookup(packet.dst)
+            route = table.lookup_fast(packet.dst)
             if route is not None:
                 record.route = route
                 record.route_version = table.version
             return route
-        return table.lookup(packet.dst)
+        return table.lookup_fast(packet.dst)
 
     def _output_fast(self, packet: Packet, oif: str, now: float, ctx_pool) -> str:
         iface = self.interfaces.get(oif)

@@ -200,6 +200,23 @@ class RouterPluginLibrary:
     def show_flows(self) -> dict:
         return self.router.aiu.stats()
 
+    def show_aiu(self) -> List[str]:
+        """Per-gate classification counters: installed filters, slow-path
+        lookups, how many took the compiled walk, and how many matched."""
+        lines: List[str] = []
+        for gate, stats in self.router.aiu.classification_stats().items():
+            lines.append(
+                f"{gate}: filters={stats['filters']} "
+                f"lookups={stats['lookups']} compiled={stats['compiled']} "
+                f"matches={stats['matches']}"
+            )
+        totals = self.router.aiu.stats()
+        lines.append(
+            f"flow cache: hits={totals['hits']} misses={totals['misses']} "
+            f"active={totals['active']} filter_lookups={totals['filter_lookups']}"
+        )
+        return lines
+
 
 def parse_config_value(token: str):
     key, _, value = token.partition("=")

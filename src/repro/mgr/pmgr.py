@@ -20,7 +20,7 @@ Command language (one command per line; ``#`` comments allowed)::
     quarantine <plugin> [drop|bypass|unload]  # manual circuit-breaker trip
     reinstate <plugin>                        # lift a quarantine
     faultpolicy <plugin> [threshold=N] [window=S] [action=A] [cooldown=S]
-    show plugins|filters|flows|faults|health
+    show plugins|filters|flows|aiu|faults|health
 
 The §6.1 example script from the paper runs verbatim through
 :func:`run_script` (see ``tests/mgr/test_pmgr_paper_script.py``).  A
@@ -213,7 +213,7 @@ class PluginManager:
         self._print(f"faultpolicy {args[0]}: {domain.policy}")
 
     def _cmd_show(self, args: List[str]) -> None:
-        self._need(args, 1, "show plugins|filters|flows|faults|health")
+        self._need(args, 1, "show plugins|filters|flows|aiu|faults|health")
         what = args[0]
         if what == "plugins":
             for name in self.library.show_plugins():
@@ -223,6 +223,9 @@ class PluginManager:
                 self._print(line)
         elif what == "flows":
             self._print(str(self.library.show_flows()))
+        elif what == "aiu":
+            for line in self.library.show_aiu():
+                self._print(line)
         elif what == "faults":
             for line in self.library.show_faults():
                 self._print(line)

@@ -86,16 +86,17 @@ class NetworkInterface:
         is counted as transmitted and discarded) which is convenient for
         single-router benchmarks.
         """
-        if packet.length > self.mtu:
+        length = packet.length
+        if length > self.mtu:
             self.tx_drops += 1
             raise InterfaceError(
-                f"{self.name}: packet of {packet.length} B exceeds MTU {self.mtu}"
+                f"{self.name}: packet of {length} B exceeds MTU {self.mtu}"
             )
         start = max(now, self._next_free)
-        done = start + self.serialization_delay(packet)
+        done = start + length * 8 / self.rate_bps
         self._next_free = done
         self.tx_packets += 1
-        self.tx_bytes += packet.length
+        self.tx_bytes += length
         packet.departure_time = done
         if self.link is not None:
             self.link.carry(self, packet, done)

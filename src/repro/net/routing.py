@@ -58,6 +58,10 @@ class LinearLPM:
                 return stored
         return None
 
+    # The scan is already meter-free; the fast-path name is an alias so
+    # RoutingTable can call one method on any engine.
+    lookup_fast = lookup
+
     def lookup_prefix(self, value: int) -> Optional[Prefix]:
         for prefix, _stored in self._entries:
             if prefix.matches(value):
@@ -82,6 +86,9 @@ class RoutingTable:
         #: fast path) revalidate against it, so no stale route survives
         #: a table change.
         self.version = 0
+        # width -> bound fast-lookup callable; engines are created once
+        # per width and never replaced, so this never goes stale.
+        self._fast_lookups: Dict[int, object] = {}
 
     def _engine(self, width: int):
         if width not in self._engines:
@@ -124,6 +131,22 @@ class RoutingTable:
         if engine is None:
             return None
         return engine.lookup(dst.value)
+
+    def lookup_fast(self, dst) -> Optional[Route]:
+        """Compiled-path longest-prefix match: no meter, no modelled
+        cost.  BMP engines expose a compiled ``lookup_fast``; any other
+        engine falls back to its plain ``lookup``.  The bound callable is
+        resolved once per width, not per packet."""
+        if isinstance(dst, str):
+            dst = IPAddress.parse(dst)
+        fast = self._fast_lookups.get(dst.width)
+        if fast is None:
+            engine = self._engines.get(dst.width)
+            if engine is None:
+                return None
+            fast = getattr(engine, "lookup_fast", None) or engine.lookup
+            self._fast_lookups[dst.width] = fast
+        return fast(dst.value)
 
     def routes(self) -> List[Route]:
         return list(self._routes.values())

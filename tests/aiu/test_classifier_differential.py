@@ -1,0 +1,165 @@
+"""Seeded differential fuzz: compiled vs metered vs linear oracle.
+
+The compiled slow path (``DagFilterTable.lookup_fast``) is a wall-clock
+specialization of the metered walk (``DagFilterTable.lookup``); the
+:class:`LinearFilterTable` is the brute-force correctness oracle that
+handles any filter set.  These tests drive all three over seeded random
+filter sets and probe traffic — including traffic aimed *at* the
+installed filters, not just random misses — and assert exact agreement,
+then churn the tables with interleaved installs/removals to prove the
+epoch invalidation never serves a stale compiled result.
+"""
+
+import random
+
+import pytest
+
+from repro.aiu.dag import DagFilterTable
+from repro.aiu.linear import LinearFilterTable
+from repro.aiu.matchers import AmbiguousFilterError
+from repro.aiu.records import FilterRecord
+from repro.net.addresses import IPV4_WIDTH, IPV6_WIDTH, IPAddress
+from repro.net.packet import Packet
+from repro.workloads.filtersets import matching_probe, random_filters
+
+SEEDS = (1, 7, 23, 99)
+
+
+def _build_tables(filters, width):
+    """Install ``filters`` into a DAG + linear pair; skip ambiguous ones."""
+    dag = DagFilterTable(width=width)
+    linear = LinearFilterTable(width=width)
+    records = []
+    for flt in filters:
+        record = FilterRecord(flt, gate="g")
+        try:
+            dag.install(record)
+        except AmbiguousFilterError:
+            continue
+        linear.install(record)
+        records.append(record)
+    assert records, "filter generator produced nothing installable"
+    return dag, linear, records
+
+
+def _probe_packets(filters, width, rng, per_filter=2, random_probes=64):
+    """Packets matching installed filters plus uniform random traffic."""
+    packets = []
+    for flt in filters:
+        for _ in range(per_filter):
+            src, dst, protocol, sport, dport = matching_probe(flt, rng)
+            packets.append(
+                Packet(
+                    src=IPAddress(src, width),
+                    dst=IPAddress(dst, width),
+                    protocol=protocol,
+                    src_port=sport,
+                    dst_port=dport,
+                    iif=rng.choice(["atm0", "atm1", None]),
+                )
+            )
+    for _ in range(random_probes):
+        packets.append(
+            Packet(
+                src=IPAddress(rng.getrandbits(width), width),
+                dst=IPAddress(rng.getrandbits(width), width),
+                protocol=rng.choice((6, 17)),
+                src_port=rng.randrange(65536),
+                dst_port=rng.randrange(65536),
+                iif=rng.choice(["atm0", "atm1", None]),
+            )
+        )
+    return packets
+
+
+def _assert_agree(dag, linear, packet):
+    metered = dag.lookup(packet)
+    compiled = dag.lookup_fast(packet)
+    oracle = linear.lookup(packet)
+    # sort keys are unique (the record seq breaks every tie), so matching
+    # keys means the very same record object.
+    assert compiled is metered, (
+        f"compiled/metered divergence on {packet}: {compiled!r} != {metered!r}"
+    )
+    if oracle is None:
+        assert metered is None, f"oracle miss but DAG hit {metered!r} on {packet}"
+    else:
+        assert metered is oracle, (
+            f"DAG/oracle divergence on {packet}: {metered!r} != {oracle!r}"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "width", [IPV4_WIDTH, IPV6_WIDTH], ids=["ipv4", "ipv6"]
+)
+def test_compiled_agrees_on_static_tables(seed, width):
+    filters = random_filters(48, width=width, seed=seed, host_fraction=0.5)
+    dag, linear, records = _build_tables(filters, width)
+    rng = random.Random(seed * 1000 + 1)
+    for packet in _probe_packets(
+        [r.filter for r in records], width, rng
+    ):
+        _assert_agree(dag, linear, packet)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_compiled_never_stale_under_churn(seed):
+    """Interleave install/remove/lookup; the compiled path must track
+    every mutation (per-table epoch) and never serve a removed filter or
+    miss a newly installed one."""
+    width = IPV4_WIDTH
+    pool = random_filters(40, width=width, seed=seed, host_fraction=0.5)
+    rng = random.Random(seed * 1000 + 2)
+    probes = _probe_packets(pool, width, rng, per_filter=1, random_probes=16)
+    dag = DagFilterTable(width=width)
+    linear = LinearFilterTable(width=width)
+    live = {}
+    for step in range(300):
+        op = rng.random()
+        index = rng.randrange(len(pool))
+        if op < 0.45:
+            if index not in live:
+                record = FilterRecord(pool[index], gate="g")
+                try:
+                    dag.install(record)
+                except AmbiguousFilterError:
+                    continue
+                linear.install(record)
+                live[index] = record
+        elif op < 0.70:
+            record = live.pop(index, None)
+            if record is not None:
+                assert dag.remove(record)
+                assert linear.remove(record)
+        else:
+            _assert_agree(dag, linear, probes[rng.randrange(len(probes))])
+    # Final sweep over every probe after the churn settles.
+    for packet in probes:
+        _assert_agree(dag, linear, packet)
+
+
+def test_recompile_is_lazy_and_epoch_driven():
+    """Mutations only bump the epoch; flattening happens on the next
+    fast lookup, and an unchanged table is never recompiled."""
+    dag = DagFilterTable(width=IPV4_WIDTH)
+    record = FilterRecord(
+        random_filters(1, seed=3, host_fraction=0.0)[0], gate="g"
+    )
+    dag.install(record)
+    assert dag._compiled_epoch != dag.epoch  # not compiled yet
+    packet = Packet(
+        src=IPAddress(0, IPV4_WIDTH),
+        dst=IPAddress(0, IPV4_WIDTH),
+        protocol=17,
+        src_port=1,
+        dst_port=1,
+    )
+    dag.lookup_fast(packet)
+    assert dag._compiled_epoch == dag.epoch
+    root_before = dag._compiled_root
+    dag.lookup_fast(packet)
+    assert dag._compiled_root is root_before  # no recompile when clean
+    assert dag.remove(record)
+    assert dag._compiled_epoch != dag.epoch  # invalidated again
+    assert dag.lookup_fast(packet) is dag.lookup(packet)

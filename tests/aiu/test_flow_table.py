@@ -37,7 +37,12 @@ class TestLookupInstall:
     def test_gate_slots_allocated(self, table):
         record = table.install(_flow_packet(1))
         assert len(record.slots) == 3
-        assert all(s.instance is None for s in record.slots)
+        # Slots are lazy: nothing is materialized until a gate touches
+        # one, and materialized slots start empty.
+        assert all(s is None or s.instance is None for s in record.slots)
+        slot = record.slot(1)
+        assert slot.instance is None and slot.filter_record is None
+        assert record.slot(1) is slot
 
     def test_touch_updates_accounting(self, table):
         table.install(_flow_packet(1))

@@ -43,6 +43,9 @@ def test_engine_matches_reference_under_mutation(factory, ops):
                 assert got is None
             else:
                 assert got is not None and got[0] == expected
+            # The compiled fast path must track every mutation (epoch
+            # invalidation) and agree with the metered walk exactly.
+            assert engine.lookup_entry_fast(value) == got
     # Final sweep over a few probes derived from the operations.
     for _op, value, _length in ops[:10]:
         expected = reference.lookup_prefix(value)
@@ -51,6 +54,54 @@ def test_engine_matches_reference_under_mutation(factory, ops):
             assert got is None
         else:
             assert got is not None and got[0] == expected
+
+
+class TestMultibitInsertAfterRemove:
+    """Regression: an insert landing while a remove's lazy rebuild is
+    still pending must be ordered *after* that rebuild.
+
+    ``MultibitTrie.remove`` only marks the structure dirty; the expanded
+    slots of the removed prefix stay in the trie until the next lookup
+    rebuilds it.  Inserting into that stale trie in place would order
+    the insert before the rebuild — so ``insert`` now defers to the
+    pending rebuild (which re-derives everything from ``_prefixes``,
+    already including the new entry) instead of mutating stale state.
+    """
+
+    def test_reinsert_same_prefix_while_dirty(self):
+        trie = MultibitTrie(IPV4_WIDTH)
+        prefix = Prefix.parse("10.1.0.0/16")
+        trie.insert(prefix, "old")
+        assert trie.remove(prefix)
+        trie.insert(prefix, "new")  # trie still dirty from the remove
+        entry = trie.lookup_entry(int(0x0A010203))
+        assert entry is not None and entry[1] == "new"
+
+    def test_insert_under_removed_covering_prefix(self):
+        trie = MultibitTrie(IPV4_WIDTH)
+        covering = Prefix.parse("10.0.0.0/8")
+        nested = Prefix.parse("10.1.0.0/16")
+        trie.insert(covering, "covering")
+        assert trie.remove(covering)
+        trie.insert(nested, "nested")  # while dirty
+        # The removed /8 must not resurrect; the /16 must be live.
+        assert trie.lookup(int(0x0A010001)) == "nested"
+        assert trie.lookup(int(0x0A020001)) is None
+        assert trie.lookup_fast(int(0x0A010001)) == "nested"
+        assert trie.lookup_fast(int(0x0A020001)) is None
+
+    def test_insert_while_dirty_defers_to_rebuild(self):
+        trie = MultibitTrie(IPV4_WIDTH)
+        trie.insert(Prefix.parse("10.0.0.0/8"), "a")
+        assert trie.remove(Prefix.parse("10.0.0.0/8"))
+        assert trie._dirty
+        trie.insert(Prefix.parse("10.1.0.0/16"), "b")
+        # Insert must not have touched the stale trie in place: the
+        # rebuild is still pending and owns the new prefix.
+        assert trie._dirty
+        assert dict(trie.entries()) == {Prefix.parse("10.1.0.0/16"): "b"}
+        trie.lookup_entry(0)  # triggers the rebuild
+        assert not trie._dirty
 
 
 @settings(max_examples=40, deadline=None)

@@ -270,6 +270,38 @@ class TestFaultCommands:
         manager.run_command("show health")
         assert any("'router'" in line for line in output)
 
+    def test_show_aiu_counts_compiled_lookups(self, output_manager, router):
+        manager, output = output_manager
+        # Unmetered traffic: the flow miss classifies via the compiled
+        # walk at the gate with the s0 filter, then the repeat packet
+        # hits the flow cache (no further filter lookups).
+        packet_args = ("10.0.0.1", "20.0.0.1", 5000, 53)
+        router.receive(make_udp(*packet_args, iif="atm0"))
+        router.receive(make_udp(*packet_args, iif="atm0"))
+        manager.run_command("show aiu")
+        gate_lines = [line for line in output if line.startswith("ip_security:")]
+        assert gate_lines == [
+            "ip_security: filters=1 lookups=1 compiled=1 matches=1"
+        ]
+        assert any(
+            line.startswith("flow cache:") and "hits=1" in line and "misses=1" in line
+            for line in output
+        )
+
+    def test_show_aiu_metered_lookups_not_compiled(self, output_manager, router):
+        from repro.sim.cost import CycleMeter
+
+        manager, output = output_manager
+        router.receive(
+            make_udp("10.0.0.1", "20.0.0.1", 5000, 53, iif="atm0"),
+            cycles=CycleMeter(),
+        )
+        manager.run_command("show aiu")
+        assert any(
+            line == "ip_security: filters=1 lookups=1 compiled=0 matches=1"
+            for line in output
+        )
+
 
 class TestDynamicReconfiguration:
     def test_plugins_swap_under_live_traffic(self, router):

@@ -25,7 +25,11 @@ def _load_bench():
 
 
 @pytest.mark.smoke
-@pytest.mark.parametrize("workload", ["cached_hit", "cache_miss", "gates3"])
+@pytest.mark.bench
+@pytest.mark.parametrize(
+    "workload",
+    ["cached_hit", "cache_miss", "gates3", "miss_churn", "filters256"],
+)
 @pytest.mark.parametrize("use_batch", [True, False], ids=["batch", "sequential"])
 def test_bench_throughput_smoke(workload, use_batch):
     bench = _load_bench()
