@@ -1,17 +1,39 @@
 #!/bin/sh
-# The one CI entry point: performance gate then robustness gate.
+# The one CI entry point: static-analysis gate, performance gate, then
+# robustness gate.
 #
 # Usage: scripts/ci_check.sh [--full]
 #   --full   forwarded to bench_check.sh (full-sized benchmark)
 #
-# bench_check.sh runs the tier-1 suite (including the cost-model
-# invariance tests), the throughput benchmark, and the slow-path
-# regression floor; chaos_check.sh runs the seeded fault-injection soak
-# and the fault-containment suites.  Exits non-zero if either gate fails.
+# The static-analysis gate self-lints every built-in plugin and verifies
+# compiled/interpreted equivalence for the classifier DAG and all BMP
+# engines (scripts/analyze.py --self-lint), plus ruff/mypy over
+# src/repro/analysis when those tools are installed.  bench_check.sh
+# runs the tier-1 suite (including the cost-model invariance tests),
+# the throughput benchmark, and the slow-path regression floor;
+# chaos_check.sh runs the seeded fault-injection soak and the
+# fault-containment suites.  Exits non-zero if any gate fails.
 
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==== static-analysis gate (scripts/analyze.py --self-lint) ===="
+python scripts/analyze.py --self-lint
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (src/repro/analysis) =="
+    ruff check src/repro/analysis scripts/analyze.py
+else
+    echo "== ruff skipped (not installed) =="
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy --strict (src/repro/analysis) =="
+    mypy --config-file pyproject.toml
+else
+    echo "== mypy skipped (not installed) =="
+fi
 
 echo "==== performance gate (scripts/bench_check.sh) ===="
 sh scripts/bench_check.sh "$@"

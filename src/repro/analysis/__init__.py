@@ -1,0 +1,67 @@
+"""Static analysis for the plugin router (filter semantics, hot-path
+lint, compiled/interpreted equivalence).
+
+Public API::
+
+    from repro.analysis import (
+        AnalysisReport, Diagnostic, CODES,
+        analyze_filterset, analyze_table, analyze_records,
+        lint_plugin, lint_plugins, lint_builtin_plugins,
+        verify_table, verify_engine, verify_aiu,
+        analyze_router, analyze_script, self_lint,
+    )
+
+Everything here runs from the control path with the null meter — an
+analysis pass charges zero modelled cycles and never mutates router
+state.  Stable diagnostic codes and the suppression-comment grammar are
+documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+    is_suppressed,
+    severity_of,
+    suppressed_codes,
+    title_of,
+)
+from .equivalence import verify_aiu, verify_engine, verify_engines, verify_table
+from .filterset import analyze_filterset, analyze_records, analyze_table
+from .hotpath import (
+    builtin_plugin_classes,
+    lint_builtin_plugins,
+    lint_plugin,
+    lint_plugins,
+)
+from .runner import analyze_router, analyze_script, self_lint
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "AnalysisReport",
+    "Diagnostic",
+    "is_suppressed",
+    "severity_of",
+    "suppressed_codes",
+    "title_of",
+    "analyze_filterset",
+    "analyze_records",
+    "analyze_table",
+    "builtin_plugin_classes",
+    "lint_builtin_plugins",
+    "lint_plugin",
+    "lint_plugins",
+    "verify_aiu",
+    "verify_engine",
+    "verify_engines",
+    "verify_table",
+    "analyze_router",
+    "analyze_script",
+    "self_lint",
+]

@@ -1,0 +1,96 @@
+"""Analysis entry points: whole-router, pmgr-script, and self-lint runs.
+
+``analyze_router`` is what ``pmgr analyze`` and ``scripts/analyze.py``
+call: the filter-set semantic analysis over the AIU, the hot-path lint
+over every loaded plugin, and the compiled/interpreted equivalence
+verification over every filter table and BMP-backed routing engine.
+Everything runs from the control path and charges zero modelled cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .diagnostics import AnalysisReport
+from .equivalence import verify_aiu, verify_engine
+from .filterset import analyze_filterset
+from .hotpath import lint_builtin_plugins, lint_plugins
+
+
+def analyze_router(router, include_plugins: bool = True) -> AnalysisReport:
+    """Run all three analyzers against one live router."""
+    report = AnalysisReport()
+    report.extend(analyze_filterset(router.aiu))
+    if include_plugins:
+        report.extend(lint_plugins(router.pcu.plugins()))
+    report.extend(verify_aiu(router.aiu))
+    for width, engine in sorted(getattr(router.routing_table, "_engines", {}).items()):
+        if hasattr(engine, "entries") and hasattr(engine, "lookup_entry_fast"):
+            report.extend(
+                verify_engine(engine, subject=f"routing/{width}-bit engine")
+            )
+    return report
+
+
+def analyze_script(text: str, router=None) -> AnalysisReport:
+    """Run a pmgr configuration script on a scratch router (or the given
+    one), then analyze the state it built.  Script errors are collected
+    rather than raised, so a broken script still gets its filters (the
+    ones that installed) analyzed."""
+    from ..core.router import Router
+    from ..mgr.pmgr import PluginManager
+
+    if router is None:
+        router = Router(name="analyze-router")
+        router.add_interface("atm0", prefix="0.0.0.0/0")
+    manager = PluginManager(router)
+    manager.run_script(text, continue_on_error=True)
+    report = analyze_router(router)
+    for error in manager.script_errors:
+        report.add(_script_diagnostic(error))
+    return report
+
+
+def _script_diagnostic(error):
+    from .diagnostics import Diagnostic
+
+    return Diagnostic(
+        "RP107",
+        f"script line {error.lineno} failed: {error.cause}",
+        subject=f"line {error.lineno}: {error.command}",
+        hint="fix the command; the remaining lines were still analyzed",
+    )
+
+
+def self_lint(engine_names: Optional[List[str]] = None) -> AnalysisReport:
+    """The CI self-check: lint every built-in plugin, then build a small
+    seeded filter table per BMP engine and verify compiled/interpreted
+    equivalence for the DAG and the engines themselves."""
+    from ..aiu.dag import DagFilterTable
+    from ..aiu.matchers import AmbiguousFilterError
+    from ..aiu.records import FilterRecord
+    from ..bmp import ENGINES, make_engine
+    from ..net.addresses import IPV4_WIDTH
+    from ..workloads.filtersets import random_filters
+    from .equivalence import verify_table
+
+    report = AnalysisReport()
+    report.extend(lint_builtin_plugins())
+    names = engine_names or sorted(set(ENGINES))
+    filters = random_filters(64, seed=7, host_fraction=0.5)
+    for name in names:
+        table = DagFilterTable(width=IPV4_WIDTH, bmp_engine=name)
+        for flt in filters:
+            try:
+                table.install(FilterRecord(flt, gate="check"))
+            except AmbiguousFilterError:
+                continue
+        report.extend(
+            verify_table(table, IPV4_WIDTH, subject=f"self-lint DAG ({name})")
+        )
+        engine = make_engine(name, IPV4_WIDTH)
+        for index, flt in enumerate(filters):
+            if not flt.src.is_wildcard:
+                engine.insert(flt.src, index)
+        report.extend(verify_engine(engine, subject=f"self-lint {name}"))
+    return report

@@ -34,12 +34,31 @@ class PluginControlUnit:
     # ------------------------------------------------------------------
     # Loading / unloading (modload / modunload)
     # ------------------------------------------------------------------
-    def load(self, plugin: Plugin) -> int:
-        """Register a plugin's callback; returns its 32-bit plugin code."""
+    def load(self, plugin: Plugin, strict: bool = False) -> int:
+        """Register a plugin's callback; returns its 32-bit plugin code.
+
+        With ``strict=True`` the plugin's data-path methods are run
+        through the hot-path lint first (:mod:`repro.analysis.hotpath`)
+        and any error-severity finding refuses the load *before* the
+        PCU tables are touched — a misbehaving module never becomes
+        reachable from the fast path.
+        """
         if plugin.name in self._by_name:
             raise PluginError(f"plugin {plugin.name!r} is already loaded")
         if plugin.plugin_type <= 0:
             raise PluginError(f"plugin {plugin.name!r} has no plugin_type")
+        if strict:
+            from ..analysis.hotpath import lint_plugin
+
+            findings = [d for d in lint_plugin(plugin) if d.severity == "error"]
+            if findings:
+                detail = "; ".join(
+                    f"{d.code} at {d.location()}" for d in findings[:4]
+                )
+                raise PluginError(
+                    f"plugin {plugin.name!r} failed strict hot-path lint "
+                    f"({len(findings)} errors: {detail})"
+                )
         next_id = self._next_id.get(plugin.plugin_type, 1)
         code = plugin_code(plugin.plugin_type, next_id)
         self._next_id[plugin.plugin_type] = next_id + 1

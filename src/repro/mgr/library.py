@@ -74,6 +74,9 @@ class RouterPluginLibrary:
     def __init__(self, router: Router):
         self.router = router
         self._instances: Dict[str, PluginInstance] = {}
+        # (aiu.plan_epoch at analysis time, AnalysisReport); purely
+        # control-path state — the data path never reads it.
+        self._analysis_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # modload / modunload
@@ -215,7 +218,30 @@ class RouterPluginLibrary:
             f"flow cache: hits={totals['hits']} misses={totals['misses']} "
             f"active={totals['active']} filter_lookups={totals['filter_lookups']}"
         )
+        lines.append(f"analyzed: {self._analysis_status()}")
         return lines
+
+    # ------------------------------------------------------------------
+    # Static analysis (repro.analysis)
+    # ------------------------------------------------------------------
+    def analyze(self, include_plugins: bool = True):
+        """Run the static analyzers over this router and cache the report
+        keyed on the AIU plan epoch, so ``show aiu`` can report analysis
+        freshness without re-walking anything."""
+        from ..analysis import analyze_router
+
+        report = analyze_router(self.router, include_plugins=include_plugins)
+        self._analysis_cache = (self.router.aiu.plan_epoch, report)
+        return report
+
+    def _analysis_status(self) -> str:
+        if self._analysis_cache is None:
+            return "never"
+        epoch, report = self._analysis_cache
+        if epoch != self.router.aiu.plan_epoch:
+            return f"stale (filters changed since epoch {epoch}; rerun analyze)"
+        counts = report.counts()
+        return f"{len(report)} findings ({counts['error']} errors)"
 
 
 def parse_config_value(token: str):

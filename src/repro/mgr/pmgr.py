@@ -20,6 +20,7 @@ Command language (one command per line; ``#`` comments allowed)::
     quarantine <plugin> [drop|bypass|unload]  # manual circuit-breaker trip
     reinstate <plugin>                        # lift a quarantine
     faultpolicy <plugin> [threshold=N] [window=S] [action=A] [cooldown=S]
+    analyze [--json]                          # static analysis (repro.analysis)
     show plugins|filters|flows|aiu|faults|health
 
 The §6.1 example script from the paper runs verbatim through
@@ -61,6 +62,7 @@ class PluginManager:
             "quarantine": self._cmd_quarantine,
             "reinstate": self._cmd_reinstate,
             "faultpolicy": self._cmd_faultpolicy,
+            "analyze": self._cmd_analyze,
             "show": self._cmd_show,
         }
         #: Errors collected by the last ``run_script(...,
@@ -211,6 +213,16 @@ class PluginManager:
         config = dict(parse_config_value(token) for token in args[1:])
         domain = self.library.set_fault_policy(args[0], **config)
         self._print(f"faultpolicy {args[0]}: {domain.policy}")
+
+    def _cmd_analyze(self, args: List[str]) -> None:
+        if args not in ([], ["--json"]):
+            raise ConfigurationError("usage: analyze [--json]")
+        report = self.library.analyze()
+        if args:
+            self._print(report.to_json())
+        else:
+            for line in report.render():
+                self._print(line)
 
     def _cmd_show(self, args: List[str]) -> None:
         self._need(args, 1, "show plugins|filters|flows|aiu|faults|health")

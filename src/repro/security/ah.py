@@ -38,9 +38,12 @@ class AhOutboundInstance(PluginInstance):
 
     def process(self, packet: Packet, ctx: PluginContext) -> str:
         super().process(packet, ctx)
+        from ..sim.cost import Costs
+
         sequence = self.sa.next_sequence()
         inner_proto = packet.protocol
         icv_input = _authenticated_bytes(packet, inner_proto, packet.payload)
+        ctx.cycles.charge(len(icv_input) * Costs.SW_AUTH_PER_BYTE, "sw_auth")
         header = AHHeader(
             next_header=inner_proto,
             spi=self.sa.spi,
@@ -75,8 +78,11 @@ class AhInboundInstance(PluginInstance):
         except (ValueError, SecurityError):
             self.auth_failures += 1
             return Verdict.DROP
+        from ..sim.cost import Costs
+
         inner_payload = packet.payload[consumed:]
         icv_input = _authenticated_bytes(packet, header.next_header, inner_payload)
+        ctx.cycles.charge(len(icv_input) * Costs.SW_AUTH_PER_BYTE, "sw_auth")
         if not sa.verify(icv_input, header.icv):
             self.auth_failures += 1
             return Verdict.DROP

@@ -61,23 +61,44 @@ def random_filters(
     ``host_fraction`` of them are fully specified end-to-end flow filters
     (the common case for per-application reservations); the rest use
     random prefixes with routing-table-like length distributions.
+
+    The returned set is duplicate-free (no two filters share the same
+    five-tuple of src/dst/protocol/sport/dport): a duplicate draw is
+    redrawn, so a set installed at one gate never carries RP103-style
+    binding conflicts by construction.  Collision-free seeds consume
+    exactly the same RNG stream as before deduplication, so existing
+    seeded experiments are bit-identical.  Raises :class:`ValueError`
+    when ``count`` exceeds what the requested shape can produce (e.g.
+    narrow weights with ``with_ports=False``).
     """
     rng = random.Random(seed)
     weights = V4_LENGTH_WEIGHTS if width == IPV4_WIDTH else V6_LENGTH_WEIGHTS
     filters: List[Filter] = []
+    seen = set()
+    max_attempts = 64
     for index in range(count):
-        if rng.random() < host_fraction:
-            src = _random_prefix(rng, width, width)
-            dst = _random_prefix(rng, width, width)
-            protocol = rng.choice((6, 17))
-            sport: PortSpec = PortSpec.exact(rng.randrange(1024, 65536))
-            dport = PortSpec.exact(rng.randrange(1, 1024))
+        for attempt in range(max_attempts):
+            if rng.random() < host_fraction:
+                src = _random_prefix(rng, width, width)
+                dst = _random_prefix(rng, width, width)
+                protocol = rng.choice((6, 17))
+                sport: PortSpec = PortSpec.exact(rng.randrange(1024, 65536))
+                dport = PortSpec.exact(rng.randrange(1, 1024))
+            else:
+                src = _random_prefix(rng, width, _weighted_length(rng, weights))
+                dst = _random_prefix(rng, width, _weighted_length(rng, weights))
+                protocol = rng.choice(PROTOCOLS)
+                sport = rng.choice(PORT_CATALOGUE) if with_ports else PortSpec.wildcard()
+                dport = rng.choice(PORT_CATALOGUE) if with_ports else PortSpec.wildcard()
+            key = (src, dst, protocol, sport, dport)
+            if key not in seen:
+                seen.add(key)
+                break
         else:
-            src = _random_prefix(rng, width, _weighted_length(rng, weights))
-            dst = _random_prefix(rng, width, _weighted_length(rng, weights))
-            protocol = rng.choice(PROTOCOLS)
-            sport = rng.choice(PORT_CATALOGUE) if with_ports else PortSpec.wildcard()
-            dport = rng.choice(PORT_CATALOGUE) if with_ports else PortSpec.wildcard()
+            raise ValueError(
+                f"could not draw {count} distinct filters "
+                f"(exhausted after {len(filters)}; relax the shape parameters)"
+            )
         filters.append(
             Filter(src=src, dst=dst, protocol=protocol, sport=sport, dport=dport)
         )
