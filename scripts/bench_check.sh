@@ -53,4 +53,33 @@ for workload, floor in FLOORS.items():
 sys.exit(1 if failed else 0)
 EOF
 
+echo "== telemetry overhead ceiling =="
+# The metrics registry must be near-free on the data path: the on/off
+# workload pairs (cached-hit shaped and cache-miss shaped) may differ by
+# at most 5% packets-per-second (docs/OBSERVABILITY.md).
+python - <<'EOF'
+import json, sys
+
+PAIRS = [
+    ("telemetry_off", "telemetry_on"),
+    ("telemetry_off_miss", "telemetry_on_miss"),
+]
+CEILING = 1.05
+with open("BENCH_throughput.json") as fh:
+    pps = json.load(fh)["packets_per_second"]
+failed = False
+for off, on in PAIRS:
+    if off not in pps or on not in pps:
+        print(f"FAIL: missing workload pair {off}/{on}")
+        failed = True
+        continue
+    ratio = pps[off] / pps[on]
+    if ratio > CEILING:
+        print(f"FAIL: {on} overhead {ratio:.3f}x exceeds {CEILING}x ceiling")
+        failed = True
+    else:
+        print(f"ok: {on} overhead {ratio:.3f}x <= {CEILING}x")
+sys.exit(1 if failed else 0)
+EOF
+
 echo "== done: see BENCH_throughput.json =="

@@ -35,6 +35,39 @@ else
     echo "== mypy skipped (not installed) =="
 fi
 
+echo "==== telemetry gate (pmgr --json schema) ===="
+# Every `pmgr show X --json` output must be machine-parseable: drive a
+# configured router through the real command loop and pipe each topic's
+# JSON through python -m json.tool.  (The on/off overhead ceiling lives
+# in bench_check.sh, which runs next.)
+PYTHONPATH=src python - <<'EOF' | python -m json.tool > /dev/null
+import json
+from repro import Router, PluginManager
+from repro.mgr.format import TOPICS
+from repro.net import make_udp
+
+lines = []
+router = Router(name="ci")
+router.add_interface("atm0", prefix="0.0.0.0/0")
+mgr = PluginManager(router, output=lines.append)
+mgr.run_script("""
+modload drr
+create drr drr0
+bind drr0 - 10.*, *, UDP
+telemetry on
+trace on sample=1 capacity=16
+""")
+for i in range(32):
+    router.receive(make_udp(f"10.0.0.{i % 4 + 1}", "20.0.0.1", 1000 + i, 9000, iif="atm0"))
+blobs = []
+for topic in TOPICS:
+    lines.clear()
+    mgr.run_command(f"show {topic} --json")
+    blobs.append(json.loads("\n".join(lines)))
+print(json.dumps(blobs))
+EOF
+echo "ok: all show topics emit valid JSON"
+
 echo "==== performance gate (scripts/bench_check.sh) ===="
 sh scripts/bench_check.sh "$@"
 

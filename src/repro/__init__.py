@@ -1,12 +1,19 @@
 """Router Plugins (SIGCOMM 1998) — a Python reproduction.
 
-The most-used entry points are re-exported here; each subpackage has the
-full API (see ``README.md`` for the architecture overview and
-``DESIGN.md`` for the system inventory):
+This module is the **stable public surface** (docs/API.md).  Everything
+listed in ``__all__`` follows the compatibility promise there; each
+subpackage additionally has its full internal API (see ``README.md`` for
+the architecture overview and ``DESIGN.md`` for the system inventory):
 
->>> from repro import Router, PluginManager
+>>> from repro import Router, Pmgr
 >>> router = Router()
+
+A handful of internals that used to leak through here are still
+importable via deprecation shims (they warn once and will be removed in
+2.0); import them from their home subpackage instead.
 """
+
+import warnings as _warnings
 
 from .aiu import AIU, Filter, FlowTable, PortSpec
 from .core import (
@@ -19,9 +26,26 @@ from .core import (
     Router,
     Verdict,
 )
-from .mgr import PLUGIN_REGISTRY, PluginManager, RouterPluginLibrary, run_script
+from .mgr import (
+    PLUGIN_REGISTRY,
+    PluginManager,
+    RouterPluginLibrary,
+    load_plugin,
+    run_script,
+)
 from .net import IPAddress, NetworkInterface, Packet, Prefix, make_tcp, make_udp
 from .sim import Costs, CycleMeter, EventLoop, MemoryMeter
+from .telemetry import (
+    JsonLinesExporter,
+    LifecycleTracer,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    prometheus_text,
+)
+
+#: The paper's `pmgr` by its spoken name; identical to PluginManager.
+Pmgr = PluginManager
 
 __version__ = "1.0.0"
 
@@ -40,7 +64,9 @@ __all__ = [
     "Verdict",
     "PLUGIN_REGISTRY",
     "PluginManager",
+    "Pmgr",
     "RouterPluginLibrary",
+    "load_plugin",
     "run_script",
     "IPAddress",
     "NetworkInterface",
@@ -52,5 +78,42 @@ __all__ = [
     "CycleMeter",
     "EventLoop",
     "MemoryMeter",
+    "JsonLinesExporter",
+    "LifecycleTracer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "prometheus_text",
     "__version__",
 ]
+
+# Internals that historically leaked through `repro`; kept importable so
+# old scripts keep running, but they warn and are not part of __all__.
+_DEPRECATED = {
+    "Tracer": ("repro.core.tracing", "Tracer"),
+    "NullMeter": ("repro.sim.cost", "NullMeter"),
+    "NULL_METER": ("repro.sim.cost", "NULL_METER"),
+    "RateMeter": ("repro.telemetry", "RateMeter"),
+    "summarize": ("repro.telemetry", "summarize"),
+    "percentile": ("repro.telemetry", "percentile"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    _warnings.warn(
+        f"importing {name!r} from 'repro' is deprecated and will be removed "
+        f"in 2.0; import it from {module_name!r} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_DEPRECATED) | set(globals()))

@@ -107,6 +107,14 @@ class AIU:
         self._gate_class_stats: Dict[str, List[int]] = {
             g: [0, 0, 0] for g in self.gates
         }
+        # Telemetry (docs/OBSERVABILITY.md): packet-size histogram fed on
+        # the classification miss path; None unless a registry is
+        # attached, so the off state costs one None test per miss.
+        # ``_tm_size_counts`` is the histogram's size-indexed staging
+        # list (Histogram.enable_direct) — the seam's one list-index
+        # increment; ``_tm_size_hist`` backs the rare out-of-range sizes.
+        self._tm_size_hist = None
+        self._tm_size_counts = None
         # Per-width classification plan: only gates that actually have a
         # table for the family, with gate index / stats / table resolved
         # once (rebuilt whenever a table is created; tables are never
@@ -305,6 +313,23 @@ class AIU:
         width = IPV6_WIDTH if packet.is_ipv6 else IPV4_WIDTH
         if install:
             record = self.flow_table.install(packet, now)
+            counts = self._tm_size_counts
+            if counts is not None:
+                # The packet-size histogram seam, budgeted against the
+                # 5% bench_check ceiling: one staged list-index
+                # increment (Histogram.enable_direct), folded into
+                # buckets lazily on the control path.  The raw length
+                # read skips the property frame — parsed packets carry
+                # the length cache from the wire header.  Never touches
+                # ``meter``: telemetry charges zero modelled cycles
+                # (tests/telemetry/).
+                size = packet._length
+                if size < 0:
+                    size = packet.length
+                if size < len(counts):
+                    counts[size] += 1
+                else:
+                    self._tm_size_hist.observe(size)
         else:
             from .filters import flow_key_of
 

@@ -68,6 +68,10 @@ class FlowTable:
         self.hits = 0
         self.misses = 0
         self.recycled = 0
+        # Flow lifecycle counters (telemetry pulls these; same plain-int
+        # cost class as ``active`` above, so they are kept unconditionally).
+        self.births = 0
+        self.evictions = 0
         #: Called with (record) just before a record is evicted/removed,
         #: so plugins can tear down per-flow soft state (§4: "functions
         #: which are called by the AIU on removal of an entry").
@@ -208,6 +212,7 @@ class FlowTable:
         self._chain_append(index, record)
         self._lru_push_front(record)
         self.active += 1
+        self.births += 1
         return record
 
     def _chain_append(self, index: int, record: FlowRecord) -> None:
@@ -245,6 +250,7 @@ class FlowTable:
         record.hash_prev = record.hash_next = None
         self._lru_unlink(record)
         self.active -= 1
+        self.evictions += 1
 
     def invalidate(self, record: FlowRecord) -> None:
         """Explicitly drop one flow record (e.g. filter removed)."""
@@ -307,4 +313,6 @@ class FlowTable:
             "hits": self.hits,
             "misses": self.misses,
             "recycled": self.recycled,
+            "births": self.births,
+            "evictions": self.evictions,
         }

@@ -38,6 +38,7 @@ CODES: Dict[str, Tuple[str, str]] = {
     "RP204": (ERROR, "attribute created outside __init__ on a __slots__ class"),
     "RP205": (ERROR, "packet-bytes touch without a cost-model charge"),
     "RP206": (WARNING, "over-broad except Exception on the data path"),
+    "RP207": (WARNING, "metric emission bypasses the telemetry registry"),
     # RP3xx — compiled/interpreted equivalence (repro.analysis.equivalence).
     "RP301": (ERROR, "compiled DAG walk diverges from interpreted matchers"),
     "RP302": (ERROR, "compiled BMP lookup diverges from engine lookup"),

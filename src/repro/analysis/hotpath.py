@@ -23,6 +23,11 @@ same-package helper functions, and flags:
   root's closure.
 * RP206 — ``except Exception`` (warning; the fault domains already
   contain plugin exceptions, catching them hides real bugs).
+* RP207 — metric emission that bypasses the telemetry registry: a
+  subscript store into a metric-named ``self`` dict (``self.stats[...]``,
+  ``self.counters[...] += 1``, …) on the data path.  Plugin-local metrics
+  belong in registry handles grabbed at bind time (docs/OBSERVABILITY.md)
+  so exporters and ``pmgr show telemetry`` can see them.
 
 Findings on a source line carrying ``# rp: ignore[RPxxx]`` (or a blanket
 ``# rp: ignore``) are suppressed.  Everything runs on source text via
@@ -51,6 +56,11 @@ _NONDET_DATETIME = {"now", "utcnow", "today"}
 _CHARGE_NAMES = {"charge", "charge_memory", "access"}
 _TOUCH_ATTRS = {"payload"}
 _TOUCH_CALLS = {"serialize"}
+#: self-attribute names that read as ad-hoc metric stores (RP207).
+_METRIC_ATTRS = {
+    "stats", "metrics", "counters", "counts", "histograms", "gauges",
+    "telemetry", "meters",
+}
 
 
 class _FunctionLint:
@@ -127,10 +137,10 @@ class _FunctionLint:
             elif isinstance(node, ast.Attribute):
                 if node.attr in _TOUCH_ATTRS:
                     self.touches.append((self.absolute_line(node), f".{node.attr}"))
-            if slots is not None and isinstance(
-                node, (ast.Assign, ast.AugAssign, ast.AnnAssign)
-            ):
-                self._check_slots_assign(node, slots)
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                if slots is not None:
+                    self._check_slots_assign(node, slots)
+                self._check_metric_assign(node)
 
     # ------------------------------------------------------------------
     def _check_call(self, node: ast.Call) -> None:
@@ -337,6 +347,33 @@ class _FunctionLint:
                     "__slots__ class",
                     f"declare {target.attr!r} in __slots__ (or assign it in "
                     "__init__)",
+                )
+
+    def _check_metric_assign(self, node: ast.AST) -> None:
+        """RP207: ``self.stats[...] = / += ...`` style ad-hoc metric
+        stores on the data path, invisible to exporters."""
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            container = target.value
+            if (
+                isinstance(container, ast.Attribute)
+                and isinstance(container.value, ast.Name)
+                and container.value.id == "self"
+                and container.attr in _METRIC_ATTRS
+            ):
+                self.emit(
+                    "RP207",
+                    node,
+                    f"metric emission into self.{container.attr}[...] bypasses "
+                    "the telemetry registry",
+                    "grab a Counter/Histogram handle from router.telemetry at "
+                    "bind time instead (docs/OBSERVABILITY.md)",
                 )
 
 

@@ -107,14 +107,38 @@ class FaultRecord:
             self.error_type, self.error, self.flow,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-able form (library.query('faults')); ``render_fault`` of
+        this dict is the one text formatting, so the structured and text
+        views cannot drift."""
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "plugin": self.plugin,
+            "instance": self.instance,
+            "gate": self.gate,
+            "error_type": self.error_type,
+            "error": self.error,
+            "flow": self.flow,
+            "packet_id": self.packet_id,
+        }
+
     def render(self) -> str:
-        return (
-            f"#{self.seq} t={self.time:g} {self.plugin}/{self.instance} "
-            f"@ {self.gate}: {self.error_type}: {self.error} [{self.flow}]"
-        )
+        return render_fault(self.to_dict())
 
     def __repr__(self) -> str:
         return f"FaultRecord({self.render()})"
+
+
+def render_fault(record: dict) -> str:
+    """Text form of a fault record dict (shared by FaultRecord.render and
+    the pmgr show-faults formatter)."""
+    return (
+        f"#{record['seq']} t={record['time']:g} "
+        f"{record['plugin']}/{record['instance']} "
+        f"@ {record['gate']}: {record['error_type']}: {record['error']} "
+        f"[{record['flow']}]"
+    )
 
 
 def packet_digest(packet) -> str:

@@ -111,6 +111,16 @@ class Router:
         self._icmp_limiter = IcmpRateLimiter()
         #: Optional per-packet walk recorder (see repro.core.tracing).
         self.tracer = None
+        # --- Telemetry (docs/OBSERVABILITY.md) ----------------------
+        # The attached MetricsRegistry, or None.  The hot-path state is
+        # mirrored into dedicated attributes so the data path pays one
+        # attribute load + None test per seam when telemetry is off:
+        # ``_tm_gate_cells`` is the registry's per-gate dispatch cell
+        # list (indexed by gate plan index), ``_lifecycle`` the sampled
+        # packet-lifecycle tracer.
+        self.telemetry = None
+        self._tm_gate_cells = None
+        self._lifecycle = None
         # --- Fast-path plan (docs/PERFORMANCE.md) -------------------
         # Static gate geometry: the pre-routing gates in order, gate ->
         # slot index, and whether the special gates are configured.
@@ -217,6 +227,9 @@ class Router:
         (asserted by tests/perf/).
         """
         if cycles is NULL_METER and self.tracer is None:
+            lifecycle = self._lifecycle
+            if lifecycle is not None and lifecycle.wants(packet):
+                return self._receive_traced(packet, now)
             self._refresh_plan()
             return self._receive_fast(packet, now, None)
         disposition = self._receive(packet, now, cycles)
@@ -235,7 +248,13 @@ class Router:
         per-packet loop and one :class:`PluginContext` per gate is pooled
         and reused across the batch.
         """
-        if cycles is not NULL_METER or self.tracer is not None:
+        if (
+            cycles is not NULL_METER
+            or self.tracer is not None
+            or self._lifecycle is not None
+        ):
+            # Per-packet receive() so lifecycle sampling sees each packet
+            # (non-sampled ones still take the fast path inside).
             return [self.receive(p, now=now, cycles=cycles) for p in packets]
         self._refresh_plan()
         # Pre-warm the compiled classifier tables so flow misses inside
@@ -318,6 +337,9 @@ class Router:
         ctx_pool,
     ) -> Tuple[str, Optional[object]]:
         """The gate macro without meters: FIX fetch, indirect call."""
+        cells = self._tm_gate_cells
+        if cells is not None:
+            cells[gate_index] += 1
         record: Optional[FlowRecord] = packet._fix
         if record is None:
             instance, record = self.aiu.classify(packet, gate, now=now)
@@ -452,6 +474,28 @@ class Router:
         self.counters[Disposition.FORWARDED] += 1
         return Disposition.FORWARDED
 
+    def _receive_traced(self, packet: Packet, now: float) -> str:
+        """Run one lifecycle-sampled packet through the metered
+        specification path against a tracer-owned throwaway meter.
+
+        The caller's view is unchanged: dispositions, counters, and flow
+        state are packet-for-packet identical between the two paths
+        (tests/perf/, chaos soak), and no caller-visible meter is ever
+        charged — the span's per-stage cycle deltas come from the local
+        meter the tracer hooks snapshot.
+        """
+        lifecycle = self._lifecycle
+        meter = CycleMeter()
+        lifecycle.begin(packet, now, meter)
+        previous = self.tracer
+        self.tracer = lifecycle
+        try:
+            disposition = self._receive(packet, now, meter)
+        finally:
+            self.tracer = previous
+        lifecycle.finish(packet, disposition, now, meter)
+        return disposition
+
     def _receive(self, packet: Packet, now: float, cycles) -> str:
         cycles.charge(Costs.DRIVER_RX, "driver_rx")
         cycles.charge(Costs.IP_INPUT, "ip_input")
@@ -577,6 +621,9 @@ class Router:
         self, packet: Packet, gate: str, now: float, cycles, oif: Optional[str] = None
     ) -> Tuple[str, Optional[object]]:
         """The gate macro (§3.2): FIX fast path, AIU call otherwise."""
+        cells = self._tm_gate_cells
+        if cells is not None:
+            cells[self.aiu.gate_index(gate)] += 1
         cycles.charge(Costs.GATE_CHECK, "gate_check")
         record: Optional[FlowRecord] = packet.fix
         if record is None:
@@ -700,6 +747,8 @@ class Router:
                 cycles.charge(Costs.DRIVER_TX, "driver_tx")
                 iface.output(packet, at)
                 self.counters["tx_scheduled"] += 1
+                if self._lifecycle is not None:
+                    self._lifecycle.on_emit(packet, at)
             # unreachable
         if not self._tx_busy[oif]:
             self._tx_busy[oif] = True
@@ -715,6 +764,8 @@ class Router:
             return
         done = iface.output(packet, now)
         self.counters["tx_scheduled"] += 1
+        if self._lifecycle is not None:
+            self._lifecycle.on_emit(packet, now)
         self.loop.schedule_at(done, self._tx_one, oif)
 
     def _scheduler_object(self, oif: str):
@@ -807,6 +858,53 @@ class Router:
                     self.receive(packet, now=packet.arrival_time, cycles=cycles)
                 )
         return results
+
+    # ------------------------------------------------------------------
+    # Telemetry (docs/OBSERVABILITY.md) — control path only
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, registry=None):
+        """Attach a :class:`~repro.telemetry.MetricsRegistry` (created if
+        ``None``) and mirror its hot-path cells onto the router.  Passing
+        the NullRegistry (``enabled == False``) detaches instead, so the
+        off state is literally compiled out of the data path."""
+        if registry is None:
+            from ..telemetry.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+        if not registry.enabled:
+            self.detach_telemetry()
+            return registry
+        registry.bind_router(self)
+        self.telemetry = registry
+        self._tm_gate_cells = registry.gate_dispatch_cells
+        hist = registry.histogram(
+            "aiu.miss_packet_size_bytes",
+            help="packet sizes observed on the classification miss path",
+        )
+        self.aiu._tm_size_hist = hist
+        self.aiu._tm_size_counts = hist.enable_direct()
+        return registry
+
+    def detach_telemetry(self) -> None:
+        """Disable telemetry: every instrumented seam returns to the
+        single ``is None`` test."""
+        self.telemetry = None
+        self._tm_gate_cells = None
+        self.aiu._tm_size_hist = None
+        self.aiu._tm_size_counts = None
+
+    def attach_lifecycle_tracer(self, tracer=None, sample: int = 1, capacity: int = 256):
+        """Attach a packet-lifecycle tracer (1-in-``sample`` flows,
+        ring-buffered to ``capacity`` spans)."""
+        if tracer is None:
+            from ..telemetry.tracer import LifecycleTracer
+
+            tracer = LifecycleTracer(sample=sample, capacity=capacity)
+        self._lifecycle = tracer
+        return tracer
+
+    def detach_lifecycle_tracer(self) -> None:
+        self._lifecycle = None
 
     # ------------------------------------------------------------------
     # Health / fault introspection

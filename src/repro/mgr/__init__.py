@@ -1,8 +1,10 @@
 """User space: the Router Plugin Library and the pmgr Plugin Manager."""
 
+from .format import TOPICS, render_topic
 from .library import (
     PLUGIN_REGISTRY,
     RouterPluginLibrary,
+    load_plugin,
     parse_config_value,
     split_command,
 )
@@ -11,7 +13,10 @@ from .pmgr import PluginManager, main, run_script
 __all__ = [
     "PLUGIN_REGISTRY",
     "RouterPluginLibrary",
+    "TOPICS",
+    "load_plugin",
     "parse_config_value",
+    "render_topic",
     "split_command",
     "PluginManager",
     "main",

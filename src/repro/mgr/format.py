@@ -1,0 +1,130 @@
+"""Text formatters over :meth:`RouterPluginLibrary.query` results.
+
+Every ``pmgr show X`` text output is produced by rendering the
+structured query dict through :func:`render_topic` — the text view is a
+pure function of the JSON view, so the two can never drift (asserted
+topic-by-topic by ``tests/mgr/test_query_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.faults import render_fault
+
+#: Topics ``query``/``show`` understand, in help order.
+TOPICS = (
+    "plugins", "filters", "flows", "aiu", "faults", "health",
+    "telemetry", "trace",
+)
+
+
+def _render_plugins(data: dict) -> List[str]:
+    return [entry["name"] for entry in data["plugins"]]
+
+
+def _render_filters(data: dict) -> List[str]:
+    return [
+        f"{entry['gate']}: {entry['filter']} -> "
+        f"{entry['instance'] if entry['bound'] else 'unbound'}"
+        for entry in data["filters"]
+    ]
+
+
+def _render_flows(data: dict) -> List[str]:
+    return [str(data)]
+
+
+def _render_aiu(data: dict) -> List[str]:
+    lines = [
+        f"{gate}: filters={stats['filters']} "
+        f"lookups={stats['lookups']} compiled={stats['compiled']} "
+        f"matches={stats['matches']}"
+        for gate, stats in data["gates"].items()
+    ]
+    cache = data["flow_cache"]
+    lines.append(
+        f"flow cache: hits={cache['hits']} misses={cache['misses']} "
+        f"active={cache['active']} filter_lookups={cache['filter_lookups']}"
+    )
+    lines.append(f"analyzed: {data['analyzed']}")
+    return lines
+
+
+def _render_faults(data: dict) -> List[str]:
+    plugins = data["plugins"]
+    if not plugins:
+        return ["no plugin faults recorded"]
+    lines: List[str] = []
+    for name, snap in plugins.items():
+        lines.append(
+            f"{name}: {snap['state']} action={snap['action']} "
+            f"faults={snap['faults_total']} "
+            f"quarantines={snap['quarantine_count']}"
+        )
+        for record in snap["records"]:
+            lines.append(f"  {render_fault(record)}")
+    return lines
+
+
+def _render_health(data: dict) -> List[str]:
+    return [str(data)]
+
+
+def _render_telemetry(data: dict) -> List[str]:
+    if not data.get("enabled"):
+        return ["telemetry disabled (pmgr: telemetry on)"]
+    lines = [f"{name} {value}" for name, value in sorted(data["counters"].items())]
+    lines.extend(
+        f"{name} {value}" for name, value in sorted(data["gauges"].items())
+    )
+    for name, hist in sorted(data["histograms"].items()):
+        lines.append(
+            f"{name} count={hist['count']} sum={hist['sum']:g} "
+            f"buckets={hist['counts']}"
+        )
+    return lines
+
+
+def _render_trace(data: dict) -> List[str]:
+    if not data.get("enabled"):
+        return ["tracing disabled (pmgr: trace on [sample=N] [capacity=N])"]
+    lines = [
+        f"trace: sample=1/{data['sample']} capacity={data['capacity']} "
+        f"sampled={data['sampled']} recorded={data['recorded']} "
+        f"open={data['open']}"
+    ]
+    for span in data["spans"]:
+        stages = " ".join(
+            f"{stage['stage']}={stage['cycles']}cyc"
+            + (f"/{stage['vtime']:g}s" if stage["vtime"] else "")
+            for stage in span["stages"]
+        )
+        lines.append(
+            f"  #{span['packet_id']} {span['flow']} -> {span['disposition']} "
+            f"({span['total_cycles']} cycles) {stages}"
+        )
+    return lines
+
+
+_RENDERERS: Dict[str, Callable[[dict], List[str]]] = {
+    "plugins": _render_plugins,
+    "filters": _render_filters,
+    "flows": _render_flows,
+    "aiu": _render_aiu,
+    "faults": _render_faults,
+    "health": _render_health,
+    "telemetry": _render_telemetry,
+    "trace": _render_trace,
+}
+
+
+def render_topic(topic: str, data: dict) -> List[str]:
+    """Render one query result as the pmgr text lines for its topic."""
+    try:
+        renderer = _RENDERERS[topic]
+    except KeyError as exc:
+        raise KeyError(
+            f"no text formatter for topic {topic!r}; known: {sorted(_RENDERERS)}"
+        ) from exc
+    return renderer(data)

@@ -31,6 +31,7 @@ from ..sched import (
 )
 from ..security import AhPlugin, EspPlugin, FirewallPlugin, HwEspPlugin
 from ..stats import StatisticsPlugin, TcpMonitorPlugin
+from .format import TOPICS, render_topic
 
 PLUGIN_REGISTRY: Dict[str, Type[Plugin]] = {
     "cbq": CbqPlugin,
@@ -172,54 +173,137 @@ class RouterPluginLibrary:
             raise ConfigurationError(f"bad fault policy: {exc}") from exc
         return self.router.faults.set_policy(plugin_name, policy)
 
-    def show_faults(self) -> List[str]:
-        lines: List[str] = []
-        health = self.router.faults.health()
-        if not health:
-            return ["no plugin faults recorded"]
-        for name, snap in health.items():
-            lines.append(
-                f"{name}: {snap['state']} action={snap['action']} "
-                f"faults={snap['faults_total']} "
-                f"quarantines={snap['quarantine_count']}"
+    # ------------------------------------------------------------------
+    # Telemetry (docs/OBSERVABILITY.md)
+    # ------------------------------------------------------------------
+    def enable_telemetry(self, registry=None):
+        """Attach a metrics registry to the router (created if None)."""
+        return self.router.attach_telemetry(registry)
+
+    def disable_telemetry(self) -> None:
+        self.router.detach_telemetry()
+
+    def start_trace(self, sample: int = 1, capacity: int = 256):
+        """Attach a packet-lifecycle tracer (1-in-``sample`` flows)."""
+        try:
+            return self.router.attach_lifecycle_tracer(
+                sample=sample, capacity=capacity
             )
-            for record in self.router.faults.records(name):
-                lines.append(f"  {record.render()}")
-        return lines
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+
+    def stop_trace(self) -> None:
+        self.router.detach_lifecycle_tracer()
 
     # ------------------------------------------------------------------
-    # Introspection ("show" commands)
+    # Structured introspection: query() is the API, text is a formatter
+    # ------------------------------------------------------------------
+    def query(self, topic: str, **filters) -> dict:
+        """The structured twin of every ``pmgr show`` topic: a JSON-able
+        dict.  The text outputs are ``format.render_topic`` over this
+        same dict (round-trip asserted by tests/mgr), so they cannot
+        drift.  Supported filters: ``gate=`` (filters), ``plugin=``
+        (faults)."""
+        handler = getattr(self, f"_query_{topic}", None)
+        if handler is None or topic not in TOPICS:
+            raise ConfigurationError(
+                f"unknown query topic {topic!r}; known: {list(TOPICS)}"
+            )
+        try:
+            return handler(**filters)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad filters for query {topic!r}: {exc}"
+            ) from exc
+
+    def _query_plugins(self) -> dict:
+        plugins = []
+        for plugin in sorted(self.router.pcu.plugins(), key=lambda p: p.name):
+            plugins.append(
+                {
+                    "name": plugin.name,
+                    "code": f"0x{plugin.code:08x}",
+                    "type": plugin.plugin_type,
+                    "instances": sorted(
+                        str(inst.name) for inst in getattr(plugin, "instances", [])
+                    ),
+                }
+            )
+        return {"plugins": plugins}
+
+    def _query_filters(self, gate: Optional[str] = None) -> dict:
+        return {
+            "filters": [
+                {
+                    "gate": record.gate,
+                    "filter": str(record.filter),
+                    "bound": record.instance is not None,
+                    "instance": (
+                        record.instance.name if record.instance is not None else None
+                    ),
+                    "priority": record.priority,
+                    "active": record.active,
+                }
+                for record in self.router.aiu.filters(gate)
+            ]
+        }
+
+    def _query_flows(self) -> dict:
+        return self.router.aiu.stats()
+
+    def _query_aiu(self) -> dict:
+        return {
+            "gates": self.router.aiu.classification_stats(),
+            "flow_cache": self.router.aiu.stats(),
+            "analyzed": self._analysis_status(),
+        }
+
+    def _query_faults(self, plugin: Optional[str] = None) -> dict:
+        plugins = {}
+        for name, dom in sorted(self.router.faults.domains().items()):
+            if plugin is not None and name != plugin:
+                continue
+            snap = dom.snapshot()
+            snap["records"] = [record.to_dict() for record in dom.records]
+            plugins[name] = snap
+        return {"plugins": plugins}
+
+    def _query_health(self) -> dict:
+        return self.router.health()
+
+    def _query_telemetry(self) -> dict:
+        registry = self.router.telemetry
+        if registry is None:
+            return {"enabled": False}
+        return registry.snapshot()
+
+    def _query_trace(self) -> dict:
+        tracer = self.router._lifecycle
+        if tracer is None:
+            return {"enabled": False}
+        data = {"enabled": True}
+        data.update(tracer.to_dict())
+        return data
+
+    # ------------------------------------------------------------------
+    # Introspection ("show" commands) — formatters over query()
     # ------------------------------------------------------------------
     def show_plugins(self) -> List[str]:
-        return sorted(p.name for p in self.router.pcu.plugins())
+        return render_topic("plugins", self.query("plugins"))
 
     def show_filters(self) -> List[str]:
-        return [
-            f"{record.gate}: {record.filter} -> "
-            f"{record.instance.name if record.instance else 'unbound'}"
-            for record in self.router.aiu.filters()
-        ]
+        return render_topic("filters", self.query("filters"))
 
     def show_flows(self) -> dict:
-        return self.router.aiu.stats()
+        return self.query("flows")
 
     def show_aiu(self) -> List[str]:
         """Per-gate classification counters: installed filters, slow-path
         lookups, how many took the compiled walk, and how many matched."""
-        lines: List[str] = []
-        for gate, stats in self.router.aiu.classification_stats().items():
-            lines.append(
-                f"{gate}: filters={stats['filters']} "
-                f"lookups={stats['lookups']} compiled={stats['compiled']} "
-                f"matches={stats['matches']}"
-            )
-        totals = self.router.aiu.stats()
-        lines.append(
-            f"flow cache: hits={totals['hits']} misses={totals['misses']} "
-            f"active={totals['active']} filter_lookups={totals['filter_lookups']}"
-        )
-        lines.append(f"analyzed: {self._analysis_status()}")
-        return lines
+        return render_topic("aiu", self.query("aiu"))
+
+    def show_faults(self) -> List[str]:
+        return render_topic("faults", self.query("faults"))
 
     # ------------------------------------------------------------------
     # Static analysis (repro.analysis)
@@ -242,6 +326,12 @@ class RouterPluginLibrary:
             return f"stale (filters changed since epoch {epoch}; rerun analyze)"
         counts = report.counts()
         return f"{len(report)} findings ({counts['error']} errors)"
+
+
+def load_plugin(router: Router, name: str) -> Plugin:
+    """Convenience for embedders (docs/API.md): load a registry plugin
+    into a router without constructing a library first."""
+    return RouterPluginLibrary(router).modload(name)
 
 
 def parse_config_value(token: str):

@@ -21,7 +21,14 @@ Command language (one command per line; ``#`` comments allowed)::
     reinstate <plugin>                        # lift a quarantine
     faultpolicy <plugin> [threshold=N] [window=S] [action=A] [cooldown=S]
     analyze [--json]                          # static analysis (repro.analysis)
-    show plugins|filters|flows|aiu|faults|health
+    telemetry on|off|status                   # metrics registry (docs/OBSERVABILITY.md)
+    trace on [sample=N] [capacity=N]          # packet-lifecycle tracer
+    trace off
+    show plugins|filters|flows|aiu|faults|health|telemetry|trace [--json]
+
+Every ``show`` topic has a structured twin: ``show X --json`` prints the
+:meth:`RouterPluginLibrary.query` dict for the topic, and the plain-text
+output is a formatter over that same dict (``repro.mgr.format``).
 
 The §6.1 example script from the paper runs verbatim through
 :func:`run_script` (see ``tests/mgr/test_pmgr_paper_script.py``).  A
@@ -32,12 +39,14 @@ continue_on_error=True)`` logs the error and keeps going instead.
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
 from ..core.errors import ConfigurationError, ScriptError
 from ..core.messages import Message
 from ..core.router import Router
+from .format import TOPICS, render_topic
 from .library import RouterPluginLibrary, parse_config_value, split_command
 
 
@@ -63,6 +72,8 @@ class PluginManager:
             "reinstate": self._cmd_reinstate,
             "faultpolicy": self._cmd_faultpolicy,
             "analyze": self._cmd_analyze,
+            "telemetry": self._cmd_telemetry,
+            "trace": self._cmd_trace,
             "show": self._cmd_show,
         }
         #: Errors collected by the last ``run_script(...,
@@ -224,27 +235,55 @@ class PluginManager:
             for line in report.render():
                 self._print(line)
 
-    def _cmd_show(self, args: List[str]) -> None:
-        self._need(args, 1, "show plugins|filters|flows|aiu|faults|health")
-        what = args[0]
-        if what == "plugins":
-            for name in self.library.show_plugins():
-                self._print(name)
-        elif what == "filters":
-            for line in self.library.show_filters():
-                self._print(line)
-        elif what == "flows":
-            self._print(str(self.library.show_flows()))
-        elif what == "aiu":
-            for line in self.library.show_aiu():
-                self._print(line)
-        elif what == "faults":
-            for line in self.library.show_faults():
-                self._print(line)
-        elif what == "health":
-            self._print(str(self.router.health()))
+    def _cmd_telemetry(self, args: List[str]) -> None:
+        if args not in (["on"], ["off"], ["status"]):
+            raise ConfigurationError("usage: telemetry on|off|status")
+        if args[0] == "on":
+            self.library.enable_telemetry()
+            self._print("telemetry enabled")
+        elif args[0] == "off":
+            self.library.disable_telemetry()
+            self._print("telemetry disabled")
         else:
+            state = "enabled" if self.router.telemetry is not None else "disabled"
+            self._print(f"telemetry {state}")
+
+    def _cmd_trace(self, args: List[str]) -> None:
+        if not args or args[0] not in ("on", "off"):
+            raise ConfigurationError(
+                "usage: trace on [sample=N] [capacity=N] | trace off"
+            )
+        if args[0] == "off":
+            if len(args) != 1:
+                raise ConfigurationError("usage: trace off")
+            self.library.stop_trace()
+            self._print("tracing disabled")
+            return
+        config = dict(parse_config_value(token) for token in args[1:])
+        unknown = set(config) - {"sample", "capacity"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown trace options {sorted(unknown)}; known: sample, capacity"
+            )
+        tracer = self.library.start_trace(**config)
+        self._print(
+            f"tracing enabled sample=1/{tracer.sample} capacity={tracer.capacity}"
+        )
+
+    def _cmd_show(self, args: List[str]) -> None:
+        json_out = "--json" in args
+        args = [a for a in args if a != "--json"]
+        usage = f"show {'|'.join(TOPICS)} [--json]"
+        self._need(args, 1, usage)
+        what = args[0]
+        if what not in TOPICS:
             raise ConfigurationError(f"unknown show target {what!r}")
+        data = self.library.query(what)
+        if json_out:
+            self._print(json.dumps(data, indent=2))
+        else:
+            for line in render_topic(what, data):
+                self._print(line)
 
     @staticmethod
     def _need(args: List[str], count: int, usage: str) -> None:

@@ -33,6 +33,13 @@ from .headers import (
 
 _packet_ids = itertools.count(1)
 
+# Header sizes as module globals: the cold path of ``Packet.length``
+# loads these once each instead of two attribute lookups per constant.
+_V4_HDR = IPv4Header.HEADER_LEN
+_V6_HDR = IPv6Header.HEADER_LEN
+_TCP_HDR = TCPHeader.HEADER_LEN
+_UDP_HDR = UDPHeader.HEADER_LEN
+
 
 def fold_five_tuple(src: int, dst: int, protocol: int, sport: int, dport: int) -> int:
     """The paper's 17-cycle fold of the five-tuple into 32 bits.
@@ -203,11 +210,25 @@ class Packet:
         check, serialization delay, byte counters).  The cache revalidates
         against the payload length and is dropped with ``fix = None``, so
         transforms that change headers (IPsec) recompute it.
+
+        The cold path inlines ``header_length`` for the plain UDP/TCP
+        shapes (no fragments, no options): the first length read happens
+        on hot code — the telemetry miss seam, byte counters — where the
+        two extra property frames are measurable.
         """
         payload_len = len(self.payload)
         if self._length >= 0 and payload_len == self._length_payload:
             return self._length
-        value = self.header_length + payload_len
+        if self.annotations or self.hop_options:
+            base = self.header_length
+        else:
+            base = _V6_HDR if self.src.width == IPV6_WIDTH else _V4_HDR
+            protocol = self.protocol
+            if protocol == PROTO_TCP:
+                base += _TCP_HDR
+            elif protocol == PROTO_UDP:
+                base += _UDP_HDR
+        value = base + payload_len
         self._length = value
         self._length_payload = payload_len
         return value
@@ -311,9 +332,10 @@ class Packet:
                 hop_options=hop_options,
             )
             packet.annotations.update(tcp_meta)
+            packet.length  # wire packets know their length; warm the cache
             return packet
 
-        return cls(
+        packet = cls(
             src=src,
             dst=dst,
             protocol=protocol,
@@ -326,6 +348,8 @@ class Packet:
             flow_label=flow_label,
             hop_options=hop_options,
         )
+        packet.length  # wire packets know their length; warm the cache
+        return packet
 
     def copy(self) -> "Packet":
         """A shallow copy with fresh mbuf metadata (new packet id, no FIX)."""

@@ -102,6 +102,28 @@ class SchedulerInstance(PluginInstance):
         self.packets_sent += 1
         self.bytes_sent += packet.length
 
+    # -- telemetry (docs/OBSERVABILITY.md) -----------------------------
+    def snapshot(self) -> dict:
+        """JSON-able counters for the telemetry registry's scheduler
+        collector and ``pmgr show``; kernels extend with queue detail
+        via :meth:`queue_snapshot`."""
+        return {
+            "plugin": self.plugin.name,
+            "instance": self.name,
+            "interface": self.interface,
+            "packets_queued": self.packets_queued,
+            "packets_sent": self.packets_sent,
+            "packets_dropped": self.packets_dropped,
+            "bytes_sent": self.bytes_sent,
+            "backlog": self.backlog(),
+            "queues": self.queue_snapshot(),
+        }
+
+    def queue_snapshot(self) -> list:
+        """Per-queue depth detail; the base class has no queue structure
+        to report, kernels override."""
+        return []
+
 
 class SchedulerPlugin(Plugin):
     """Base plugin class for packet schedulers."""

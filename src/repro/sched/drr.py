@@ -185,6 +185,20 @@ class DrrInstance(SchedulerInstance):
     def active_flows(self) -> int:
         return len(self._active)
 
+    def queue_snapshot(self) -> list:
+        """Per-active-flow queue detail for telemetry / pmgr show."""
+        return [
+            {
+                "flow": str(queue.label),
+                "weight": queue.weight,
+                "depth": len(queue.queue),
+                "bytes": queue.queue.bytes,
+                "drops": queue.queue.drops,
+                "deficit": queue.deficit,
+            }
+            for queue in self._active
+        ]
+
 
 class DrrPlugin(SchedulerPlugin):
     """The weighted DRR loadable module ("less than 600 lines of C")."""

@@ -77,6 +77,19 @@ class RedInstance(SchedulerInstance):
     def backlog(self) -> int:
         return len(self.queue)
 
+    def queue_snapshot(self) -> list:
+        return [
+            {
+                "flow": "fifo",
+                "depth": len(self.queue),
+                "bytes": self.queue.bytes,
+                "drops": self.queue.drops,
+                "avg": self.avg,
+                "early_drops": self.early_drops,
+                "forced_drops": self.forced_drops,
+            }
+        ]
+
 
 class RedPlugin(SchedulerPlugin):
     """RED as a loadable congestion-control module."""

@@ -35,6 +35,36 @@ class Event:
         return f"Event(t={self.time:.9f}, {getattr(self.fn, '__name__', self.fn)}, {state})"
 
 
+class RepeatingEvent:
+    """Handle for :meth:`EventLoop.schedule_every`; ``cancel()`` stops
+    the repetition (including an already-queued next firing)."""
+
+    __slots__ = ("loop", "interval", "fn", "args", "cancelled", "_event")
+
+    def __init__(self, loop: "EventLoop", interval: float, fn: Callable, args: Tuple):
+        self.loop = loop
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._event = loop.schedule(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fn(*self.args)
+        if not self.cancelled:
+            self._event = self.loop.schedule(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._event.cancel()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"RepeatingEvent(every {self.interval}s, {state})"
+
+
 class EventLoop:
     """A priority-queue event loop over a virtual clock."""
 
@@ -63,6 +93,14 @@ class EventLoop:
 
     def call_soon(self, fn: Callable, *args: Any) -> Event:
         return self.schedule_at(self.now, fn, *args)
+
+    def schedule_every(self, interval: float, fn: Callable, *args: Any) -> RepeatingEvent:
+        """Run ``fn(*args)`` every ``interval`` seconds of virtual time,
+        first at ``now + interval``, until the handle is cancelled
+        (telemetry exporters tick on this)."""
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        return RepeatingEvent(self, interval, fn, args)
 
     # ------------------------------------------------------------------
     # Execution

@@ -43,6 +43,8 @@ def mean(samples: Sequence[float]) -> float:
 
 
 def stddev(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("no samples")
     if len(samples) < 2:
         return 0.0
     mu = mean(samples)
@@ -51,6 +53,8 @@ def stddev(samples: Sequence[float]) -> float:
 
 def summarize(samples: Sequence[float]) -> Dict[str, float]:
     """The usual five-number-ish summary used by benchmark output."""
+    if not samples:
+        raise ValueError("no samples")
     return {
         "mean": mean(samples),
         "stddev": stddev(samples),
@@ -84,12 +88,16 @@ class RateMeter:
 
     @property
     def bps(self) -> float:
+        if self.packets == 0:
+            raise ValueError("no samples")
         if self.duration <= 0:
             return 0.0
         return self.bytes * 8 / self.duration
 
     @property
     def pps(self) -> float:
+        if self.packets == 0:
+            raise ValueError("no samples")
         if self.duration <= 0:
             return 0.0
         return self.packets / self.duration

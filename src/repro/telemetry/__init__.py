@@ -1,0 +1,50 @@
+"""repro.telemetry — the one metrics namespace (docs/OBSERVABILITY.md).
+
+The live side (registry, lifecycle tracer, exporters) and the offline
+helpers (``repro.stats.metrics``) are re-exported together so callers
+have a single import for measurement.
+"""
+
+from ..stats.metrics import (
+    RateMeter,
+    jain_fairness,
+    mean,
+    percentile,
+    share_error,
+    stddev,
+    summarize,
+)
+from .export import JsonLinesExporter, prometheus_text
+from .registry import (
+    DEFAULT_SIZE_BOUNDS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .tracer import LifecycleTracer, Span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "JsonLinesExporter",
+    "LifecycleTracer",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "RateMeter",
+    "Span",
+    "jain_fairness",
+    "mean",
+    "percentile",
+    "prometheus_text",
+    "share_error",
+    "stddev",
+    "summarize",
+]

@@ -1,0 +1,97 @@
+"""Exporters over :meth:`MetricsRegistry.snapshot`.
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (counters, gauges, and classic cumulative-``le`` histograms).
+* :class:`JsonLinesExporter` — one JSON object per line, emitted on the
+  event-loop clock via :meth:`EventLoop.schedule_every`, so exports are
+  deterministic in virtual time like everything else in the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, List, Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a registry snapshot as Prometheus text exposition."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(float(bound))}"}} {cumulative}'
+            )
+        cumulative += hist["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+class JsonLinesExporter:
+    """Periodic JSON-lines snapshots on the event-loop clock.
+
+    Each tick emits ``{"time": <loop.now>, ...snapshot...}`` as one
+    compact JSON line to ``sink`` (a ``str -> None`` callable; defaults
+    to collecting into :attr:`lines`).
+    """
+
+    def __init__(
+        self,
+        registry,
+        loop,
+        interval: float = 1.0,
+        sink: Optional[Callable[[str], None]] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.registry = registry
+        self.loop = loop
+        self.interval = interval
+        self.lines: List[str] = []
+        self._sink = sink if sink is not None else self.lines.append
+        self._task = None
+
+    def start(self) -> "JsonLinesExporter":
+        if self._task is None:
+            self._task = self.loop.schedule_every(self.interval, self._tick)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _tick(self) -> None:
+        record = {"time": self.loop.now}
+        record.update(self.registry.snapshot())
+        self._sink(json.dumps(record, separators=(",", ":")))

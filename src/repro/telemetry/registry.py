@@ -1,0 +1,433 @@
+"""The process-wide metrics registry (docs/OBSERVABILITY.md).
+
+Two rules keep the forwarding fast path honest:
+
+* **Telemetry off** (the default): every instrumented seam pays exactly
+  one attribute load + ``is None`` test — the same "compiled out of the
+  plan" trick the active-gate plan uses (docs/PERFORMANCE.md).  No
+  registry object is consulted anywhere on the data path.
+* **Telemetry on**: a hot seam pays at most one list-index increment
+  per event.  Wherever the data path *already* maintains a plain-int
+  counter (flow-table hits/misses/births/evictions, the router's
+  disposition counters, per-gate classification stats, scheduler
+  instance counters, fault-domain trips) the registry *pulls* the value
+  at ``snapshot()`` time instead — those events cost literally nothing
+  extra.  The only pushed hot-path state is the per-gate dispatch cell
+  list (indexed by the gate's plan index) and the packet-size histogram
+  observed on the classification miss path, which is already the
+  expensive path.
+
+Nothing in this module ever touches a :class:`~repro.sim.cost.CycleMeter`:
+telemetry charges **zero modelled cycles** by construction (asserted by
+``tests/telemetry/test_telemetry_invariance.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram edges for packet sizes (bytes): powers of two up to
+#: the default ATM interface MTU.
+DEFAULT_SIZE_BOUNDS: Tuple[float, ...] = (
+    64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 9180.0
+)
+
+
+class MetricError(ValueError):
+    """Registry misuse: duplicate names with mismatched types/bounds."""
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, active flows)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram: bounds are upper edges (``value <=
+    bound`` lands in that bucket), plus one preallocated overflow bucket.
+
+    The bucket list is preallocated at construction and never grows;
+    ``observe`` is one C-implemented bisect plus one list-index
+    increment.  For small non-negative integer domains (packet sizes)
+    two accelerations exist, both derived from the bounds at
+    construction time:
+
+    * ``bucket_lut`` precomputes value -> bucket index as a ``bytes``
+      table, replacing the bisect with a single C index;
+    * :meth:`enable_direct` hands out a size-indexed staging list so the
+      hottest seam (the AIU classification miss path) pays exactly
+      **one list-index increment** per event — ``direct[size] += 1`` —
+      and the bucketing/sum work happens lazily, on the control path,
+      when the histogram is next read.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "bucket_lut", "direct")
+
+    #: Largest top bound for which a value -> bucket table is built.
+    _LUT_LIMIT = 65536
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_SIZE_BOUNDS,
+        help: str = "",
+    ):
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise MetricError(f"histogram {name!r} needs at least one bound")
+        if list(edges) != sorted(set(edges)):
+            raise MetricError(f"histogram {name!r} bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = edges
+        self._counts: List[int] = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self.direct: Optional[List[int]] = None
+        if edges[-1] <= self._LUT_LIMIT and len(edges) < 256:
+            self.bucket_lut: Optional[bytes] = bytes(
+                bisect_left(edges, value) for value in range(int(edges[-1]) + 1)
+            )
+        else:
+            self.bucket_lut = None
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+
+    def enable_direct(self) -> Optional[List[int]]:
+        """Return the size-indexed staging list (allocating it on first
+        call), or ``None`` for domains too large to stage.
+
+        The caller owns the hot side of the contract: for an integer
+        ``0 <= size < len(direct)`` do ``direct[size] += 1``; anything
+        else goes through :meth:`observe`.  Reads fold the staged counts
+        first, so the two paths can mix freely.
+        """
+        if self.bucket_lut is None:
+            return None
+        if self.direct is None:
+            self.direct = [0] * len(self.bucket_lut)
+        return self.direct
+
+    def _fold(self) -> None:
+        """Drain the staging list into the buckets and the sum."""
+        direct = self.direct
+        if direct is None:
+            return
+        counts = self._counts
+        lut = self.bucket_lut
+        total = 0
+        for size, seen in enumerate(direct):
+            if seen:
+                counts[lut[size]] += seen
+                total += size * seen
+                direct[size] = 0
+        if total:
+            self._sum += total
+
+    @property
+    def counts(self) -> List[int]:
+        self._fold()
+        return self._counts
+
+    @property
+    def sum(self) -> float:
+        self._fold()
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def to_dict(self) -> dict:
+        self._fold()
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self._counts),
+            "count": sum(self._counts),
+            "sum": self._sum,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Names -> metrics, plus pull collectors over existing counters.
+
+    Attach to a router with :meth:`repro.core.router.Router.attach_telemetry`
+    (or ``pmgr telemetry on``); read with :meth:`snapshot`,
+    :func:`repro.telemetry.prometheus_text`, or a
+    :class:`repro.telemetry.JsonLinesExporter`.
+    """
+
+    #: Identity flag the router checks on attach; NullRegistry says False.
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        # Each collector returns {"counters": {...}} and/or
+        # {"gauges": {...}} contributions, computed at snapshot time.
+        self._collectors: List[Callable[[], dict]] = []
+        #: Hot-path dispatch cells, one per router gate (plan index);
+        #: sized by :meth:`bind_router`.
+        self.gate_dispatch_cells: List[int] = []
+        self._gate_names: Tuple[str, ...] = ()
+        self._router = None
+
+    # ------------------------------------------------------------------
+    # Metric creation (idempotent by name)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._counters[name] = Counter(name, help)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._gauges[name] = Gauge(name, help)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_SIZE_BOUNDS,
+        help: str = "",
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._histograms[name] = Histogram(name, bounds, help)
+        elif metric.bounds != tuple(float(b) for b in bounds):
+            raise MetricError(f"histogram {name!r} re-registered with new bounds")
+        return metric
+
+    def _check_free(self, name: str) -> None:
+        if name in self._counters or name in self._gauges or name in self._histograms:
+            raise MetricError(f"metric name {name!r} already used with another type")
+
+    def add_collector(self, fn: Callable[[], dict]) -> None:
+        """Register a pull source sampled at snapshot time; ``fn`` returns
+        ``{"counters": {...}}`` and/or ``{"gauges": {...}}``."""
+        self._collectors.append(fn)
+
+    # ------------------------------------------------------------------
+    # Router wiring (control path only)
+    # ------------------------------------------------------------------
+    def bind_router(self, router) -> None:
+        """Size the per-gate dispatch cells and install the pull
+        collectors over the router's existing plain-int counters.  A
+        registry binds to exactly one router."""
+        if self._router is router:
+            return
+        if self._router is not None:
+            raise MetricError("registry already bound to another router")
+        self._router = router
+        self._gate_names = router.gates
+        self.gate_dispatch_cells = [0] * len(router.gates)
+        self.add_collector(lambda: _collect_router(router))
+        self.add_collector(lambda: _collect_flow_table(router.aiu.flow_table))
+        self.add_collector(lambda: _collect_aiu(router.aiu))
+        self.add_collector(lambda: _collect_schedulers(router))
+        self.add_collector(lambda: _collect_faults(router))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-able view of everything: pushed metrics, gate
+        dispatch cells, and every pull collector's contribution."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        for fn in self._collectors:
+            part = fn()
+            counters.update(part.get("counters", ()))
+            gauges.update(part.get("gauges", ()))
+        for name, metric in self._counters.items():
+            counters[name] = metric.value
+        for name, metric in self._gauges.items():
+            gauges[name] = metric.value
+        cells = self.gate_dispatch_cells
+        for index, gate in enumerate(self._gate_names):
+            counters[f"gate.{gate}.dispatch"] = cells[index]
+        if self._gate_names:
+            counters["gate.dispatch_total"] = sum(cells)
+        return {
+            "enabled": True,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {
+                name: metric.to_dict()
+                for name, metric in self._histograms.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
+            f"collectors={len(self._collectors)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Pull collectors: sample counters the data path already maintains.
+# ----------------------------------------------------------------------
+def _collect_router(router) -> dict:
+    return {
+        "counters": {
+            f"router.{name}": value for name, value in sorted(router.counters.items())
+        }
+    }
+
+
+def _collect_flow_table(table) -> dict:
+    return {
+        "counters": {
+            "flow.hits": table.hits,
+            "flow.misses": table.misses,
+            "flow.births": table.births,
+            "flow.evictions": table.evictions,
+            "flow.recycled": table.recycled,
+        },
+        "gauges": {
+            "flow.active": table.active,
+            "flow.allocated": table.allocated,
+        },
+    }
+
+
+def _collect_aiu(aiu) -> dict:
+    counters = {"aiu.filter_lookups": aiu.filter_lookups}
+    for gate, stats in aiu.classification_stats().items():
+        counters[f"aiu.{gate}.lookups"] = stats["lookups"]
+        counters[f"aiu.{gate}.compiled"] = stats["compiled"]
+        counters[f"aiu.{gate}.matches"] = stats["matches"]
+    return {"counters": counters}
+
+
+def _collect_schedulers(router) -> dict:
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    for oif in sorted(router.interfaces):
+        instance = router.scheduler(oif)
+        if instance is None:
+            continue
+        snap = getattr(instance, "snapshot", None)
+        if snap is None:
+            continue
+        data = snap()
+        prefix = f"sched.{oif}"
+        counters[f"{prefix}.enqueued"] = data["packets_queued"]
+        counters[f"{prefix}.dequeued"] = data["packets_sent"]
+        counters[f"{prefix}.dropped"] = data["packets_dropped"]
+        counters[f"{prefix}.bytes_sent"] = data["bytes_sent"]
+        gauges[f"{prefix}.backlog"] = data["backlog"]
+    return {"counters": counters, "gauges": gauges}
+
+
+def _collect_faults(router) -> dict:
+    counters: Dict[str, float] = {}
+    for name, dom in sorted(router.faults.domains().items()):
+        counters[f"faults.{name}.total"] = dom.total
+        counters[f"faults.{name}.quarantines"] = dom.quarantine_count
+    return {"counters": counters}
+
+
+class _NullMetric:
+    """Shared sink for NullRegistry: every mutator is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1):
+        pass
+
+    def dec(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled registry: attaching it detaches telemetry, and every
+    metric handle it returns is a shared no-op sink — plugin code can
+    write ``(router.telemetry or NULL_REGISTRY).counter(...)`` once at
+    bind time and never branch on the hot path."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, bounds=DEFAULT_SIZE_BOUNDS, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def add_collector(self, fn) -> None:
+        pass
+
+    def bind_router(self, router) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"enabled": False, "counters": {}, "gauges": {}, "histograms": {}}
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: The singleton disabled registry (identity-compared, like NULL_METER).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,232 @@
+"""Packet-lifecycle tracing: ring-buffered span records.
+
+A :class:`LifecycleTracer` samples 1-in-N *flows* (same fold the flow
+table hashes with, so all packets of a flow are sampled together) and
+records one span per sampled packet: the stage sequence classify →
+gates → route → schedule → emit with a modelled-cycle delta and a
+virtual-time delta per stage.
+
+Sampling is decided in :meth:`Router.receive` with one attribute test;
+non-sampled packets stay on the unmetered fast path untouched.  A
+sampled packet runs the *metered* specification path against a
+tracer-owned throwaway :class:`~repro.sim.cost.CycleMeter` — the two
+paths are packet-for-packet equivalent (tests/perf/, chaos soak), so
+sampling never changes dispositions, counters, or flow state, and the
+caller's meter (if any) is never touched.
+
+The ring is preallocated and written modulo capacity: memory is bounded
+no matter how long the router runs (capacity test under the 10k-packet
+chaos soak in tests/telemetry/).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.router import Disposition
+
+
+class Span:
+    """One sampled packet's walk: ``stages`` is a list of
+    ``(stage, cycle_delta, vtime_delta)`` tuples."""
+
+    __slots__ = (
+        "packet_id", "flow", "started", "stages",
+        "disposition", "total_cycles", "queued_at", "done_time",
+    )
+
+    def __init__(self, packet_id: int, flow: str, started: float):
+        self.packet_id = packet_id
+        self.flow = flow
+        self.started = started
+        self.stages: List[Tuple[str, int, float]] = []
+        self.disposition: Optional[str] = None
+        self.total_cycles = 0
+        self.queued_at: Optional[float] = None
+        self.done_time: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "packet_id": self.packet_id,
+            "flow": self.flow,
+            "started": self.started,
+            "disposition": self.disposition,
+            "total_cycles": self.total_cycles,
+            "done_time": self.done_time,
+            "stages": [
+                {"stage": stage, "cycles": cycles, "vtime": vtime}
+                for stage, cycles, vtime in self.stages
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(#{self.packet_id}, {self.flow}, "
+            f"{self.disposition}, cycles={self.total_cycles})"
+        )
+
+
+def _flow_digest(packet) -> str:
+    try:
+        return (
+            f"{packet.src}:{packet.src_port}->{packet.dst}:{packet.dst_port}"
+            f"/{packet.protocol}"
+        )
+    except Exception:
+        return repr(packet)
+
+
+class LifecycleTracer:
+    """Flow-sampled per-packet span recorder (1-in-``sample``).
+
+    Implements the same hook protocol as :class:`repro.core.tracing.Tracer`
+    (``on_receive/on_gate/on_fault/on_route/on_done``), so the metered
+    gate macros feed it without new plumbing.
+    """
+
+    def __init__(self, sample: int = 1, capacity: int = 256):
+        if sample < 1:
+            raise ValueError("sample must be >= 1 (1 traces every flow)")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sample = sample
+        self.capacity = capacity
+        self._ring: List[Optional[Span]] = [None] * capacity
+        self._write = 0
+        #: Spans closed over the tracer's lifetime (ring keeps the last
+        #: ``capacity`` of them).
+        self.recorded = 0
+        #: Packets that entered tracing (spans opened).
+        self.sampled = 0
+        # packet_id -> [span, meter, cycle mark at last stage boundary];
+        # bounded to ``capacity`` open spans (a queued packet whose
+        # scheduler never emits it must not leak).
+        self._open: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling decision (hot path: called once per packet when attached)
+    # ------------------------------------------------------------------
+    def wants(self, packet) -> bool:
+        return packet.flow_fold32() % self.sample == 0
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (driven by Router._receive_traced)
+    # ------------------------------------------------------------------
+    def begin(self, packet, now: float, meter) -> None:
+        self.sampled += 1
+        span = Span(packet.packet_id, _flow_digest(packet), now)
+        self._open[packet.packet_id] = [span, meter, 0]
+        while len(self._open) > self.capacity:
+            oldest = next(iter(self._open))
+            stale = self._open.pop(oldest)
+            self._close(stale[0])
+
+    def finish(self, packet, disposition: str, now: float, meter) -> None:
+        entry = self._open.get(packet.packet_id)
+        if entry is None:
+            return
+        span, _meter, mark = entry
+        span.disposition = disposition
+        span.total_cycles = meter.total
+        if meter.total > mark:
+            # Tail work after the last hook (route memo, driver tx, ...).
+            # Keep a synchronously-recorded emit stage last.
+            tail = ("forward", meter.total - mark, 0.0)
+            if span.stages and span.stages[-1][0] == "emit":
+                span.stages.insert(len(span.stages) - 1, tail)
+            else:
+                span.stages.append(tail)
+            entry[2] = meter.total
+        if disposition == Disposition.QUEUED and span.done_time is None:
+            # Stays open until the scheduler emits it (on_emit).
+            span.queued_at = now
+            return
+        del self._open[packet.packet_id]
+        if span.done_time is None:
+            span.done_time = now
+        self._close(span)
+
+    def on_emit(self, packet, at: float) -> None:
+        """Scheduler drained the packet onto the wire: close the span
+        with the queue-wait virtual-time delta."""
+        entry = self._open.get(packet.packet_id)
+        if entry is None:
+            return
+        span = entry[0]
+        wait = at - span.queued_at if span.queued_at is not None else 0.0
+        span.stages.append(("emit", 0, wait))
+        span.done_time = at
+        if span.disposition is None:
+            # The scheduler drained synchronously, inside _receive, before
+            # finish() ran — leave the span open so finish() can close it
+            # with the real disposition and cycle total.
+            return
+        del self._open[packet.packet_id]
+        self._close(span)
+
+    def _close(self, span: Span) -> None:
+        self._ring[self._write % self.capacity] = span
+        self._write += 1
+        self.recorded += 1
+
+    def _stage(self, packet_id: int, stage: str, vtime: float = 0.0) -> None:
+        entry = self._open.get(packet_id)
+        if entry is None:
+            return
+        span, meter, mark = entry
+        span.stages.append((stage, meter.total - mark, vtime))
+        entry[2] = meter.total
+
+    # ------------------------------------------------------------------
+    # Tracer hook protocol (called by the metered gate macros)
+    # ------------------------------------------------------------------
+    def on_receive(self, packet) -> None:
+        # The span was opened by begin(); classification cycles are
+        # anchored at the first gate, mirroring the data path.
+        pass
+
+    def on_gate(self, packet, gate: str, instance, verdict: str, note: str = "") -> None:
+        self._stage(packet.packet_id, f"gate:{gate}")
+
+    def on_fault(self, packet, gate: str, instance, error: BaseException, verdict: str) -> None:
+        self._stage(packet.packet_id, f"fault:{gate}:{type(error).__name__}")
+
+    def on_route(self, packet, route) -> None:
+        self._stage(packet.packet_id, "route")
+
+    def on_done(self, packet, disposition: str) -> None:
+        # Router._receive_traced drives finish() explicitly.
+        pass
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Closed spans, oldest first (at most ``capacity`` of them)."""
+        if self._write <= self.capacity:
+            return [s for s in self._ring[: self._write] if s is not None]
+        split = self._write % self.capacity
+        out = self._ring[split:] + self._ring[:split]
+        return [s for s in out if s is not None]
+
+    def open_spans(self) -> int:
+        return len(self._open)
+
+    def to_dict(self) -> dict:
+        return {
+            "sample": self.sample,
+            "capacity": self.capacity,
+            "sampled": self.sampled,
+            "recorded": self.recorded,
+            "open": self.open_spans(),
+            "spans": [span.to_dict() for span in self.spans()],
+        }
+
+    def __len__(self) -> int:
+        return min(self._write, self.capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"LifecycleTracer(sample={self.sample}, capacity={self.capacity}, "
+            f"recorded={self.recorded})"
+        )

@@ -135,6 +135,41 @@ class SuppressedInstance(PluginInstance):
         return Verdict.DROP if data else Verdict.CONTINUE
 
 
+class AdHocMetricsInstance(PluginInstance):
+    def __init__(self, plugin, **config):
+        super().__init__(plugin, **config)
+        self.stats = {}
+
+    def process(self, packet, ctx):
+        self.stats["seen"] = self.stats.get("seen", 0) + 1
+        return Verdict.CONTINUE
+
+
+class AdHocCounterAugInstance(PluginInstance):
+    def __init__(self, plugin, **config):
+        super().__init__(plugin, **config)
+        self.counters = {"seen": 0}
+
+    def process(self, packet, ctx):
+        self.counters["seen"] += 1
+        return Verdict.CONTINUE
+
+
+class RegistryMetricsInstance(PluginInstance):
+    """The sanctioned pattern: a registry handle grabbed once (at bind
+    time in real plugins), ``inc()`` on the hot path — no dict stores."""
+
+    def __init__(self, plugin, **config):
+        super().__init__(plugin, **config)
+        from repro.telemetry import NULL_REGISTRY
+
+        self._seen = NULL_REGISTRY.counter("plugin.seen")
+
+    def process(self, packet, ctx):
+        self._seen.inc()
+        return Verdict.CONTINUE
+
+
 @pytest.mark.parametrize(
     "instance_cls,expected",
     [
@@ -146,6 +181,8 @@ class SuppressedInstance(PluginInstance):
         (SlotsInstance, "RP204"),
         (UnchargedTouchInstance, "RP205"),
         (BroadExceptInstance, "RP206"),
+        (AdHocMetricsInstance, "RP207"),
+        (AdHocCounterAugInstance, "RP207"),
     ],
 )
 def test_bad_pattern_is_flagged(instance_cls, expected):
@@ -155,7 +192,12 @@ def test_bad_pattern_is_flagged(instance_cls, expected):
 
 @pytest.mark.parametrize(
     "instance_cls",
-    [SeededRandomInstance, ChargedTouchInstance, HelperChargedInstance],
+    [
+        SeededRandomInstance,
+        ChargedTouchInstance,
+        HelperChargedInstance,
+        RegistryMetricsInstance,
+    ],
 )
 def test_good_pattern_is_clean(instance_cls):
     plugin_cls = _make_plugin(instance_cls, f"good-{instance_cls.__name__.lower()}")

@@ -87,6 +87,45 @@ class TestTopLevelApi:
 
         assert repro.__version__ == "1.0.0"
 
+    def test_stable_surface_is_all(self):
+        """docs/API.md names: everything in __all__ resolves, and the
+        telemetry/management additions are part of the stable surface."""
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+        for name in ("Pmgr", "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+                     "LifecycleTracer", "JsonLinesExporter", "prometheus_text",
+                     "load_plugin"):
+            assert name in repro.__all__, name
+        assert repro.Pmgr is repro.PluginManager
+
+    def test_deprecated_names_warn_but_resolve(self):
+        import importlib
+        import warnings
+
+        import repro
+
+        for name, home in [
+            ("Tracer", "repro.core.tracing"),
+            ("NULL_METER", "repro.sim.cost"),
+            ("RateMeter", "repro.telemetry"),
+        ]:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                value = getattr(repro, name)
+            assert any(
+                issubclass(w.category, DeprecationWarning) for w in caught
+            ), name
+            assert value is getattr(importlib.import_module(home), name)
+            assert name not in repro.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
     def test_quickstart_snippet_from_readme(self):
         from repro import PluginManager, Router, make_udp
 

@@ -132,6 +132,7 @@ def test_lru_recycle_storm_stats():
         assert router.receive(flow_packet(i)) == "forwarded"
     assert table.stats() == {
         "active": 8, "allocated": 8, "hits": 0, "misses": 32, "recycled": 24,
+        "births": 32, "evictions": 24,
     }
 
     for i in range(24, 32):                  # the 8 survivors: all hits
@@ -142,6 +143,7 @@ def test_lru_recycle_storm_stats():
         router.receive(flow_packet(i))
     assert table.stats() == {
         "active": 8, "allocated": 8, "hits": 8, "misses": 40, "recycled": 32,
+        "births": 40, "evictions": 32,
     }
     # The intrusive chains stayed coherent: exactly the 8 survivors are
     # reachable, each via its own bucket walk.

@@ -11,6 +11,7 @@ from repro.stats import (
     jain_fairness,
     percentile,
     share_error,
+    stddev,
     summarize,
 )
 
@@ -113,4 +114,22 @@ class TestMetrics:
         assert meter.pps == pytest.approx(2.0)
 
     def test_rate_meter_empty(self):
-        assert RateMeter().bps == 0.0
+        # Empty inputs raise uniformly across repro.stats.metrics
+        # (same contract as mean/percentile/stddev/summarize).
+        with pytest.raises(ValueError):
+            RateMeter().bps
+        with pytest.raises(ValueError):
+            RateMeter().pps
+
+    def test_empty_inputs_raise_uniformly(self):
+        with pytest.raises(ValueError):
+            stddev([])
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_zero_duration_rates_are_zero(self):
+        # One observation: a window of zero duration, not an empty meter.
+        meter = RateMeter()
+        meter.observe(1000, at_time=1.0)
+        assert meter.bps == 0.0
+        assert meter.pps == 0.0

@@ -1,0 +1,110 @@
+"""Exporter schema tests: the Prometheus text format (line grammar,
+cumulative buckets, +Inf == count) and the JSON-lines exporter ticking
+on the event-loop clock."""
+
+import json
+import re
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.telemetry import (
+    JsonLinesExporter,
+    MetricsRegistry,
+    prometheus_text,
+)
+
+#: One metric line: name{labels} value — names must match the
+#: Prometheus data-model identifier grammar.
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9.e+|inf]+$"
+)
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("router.rx").inc(100)
+    reg.gauge("flow.active").set(12)
+    h = reg.histogram("aiu.miss_packet_size_bytes", bounds=(64, 512))
+    for value in (20, 70, 900, 5000):
+        h.observe(value)
+    return reg
+
+
+class TestPrometheusText:
+    def test_every_line_is_schema_valid(self):
+        text = prometheus_text(_populated_registry().snapshot())
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert _METRIC_LINE.match(line), line
+
+    def test_type_lines_present(self):
+        text = prometheus_text(_populated_registry().snapshot())
+        assert "# TYPE repro_router_rx counter" in text
+        assert "# TYPE repro_flow_active gauge" in text
+        assert "# TYPE repro_aiu_miss_packet_size_bytes histogram" in text
+
+    def test_histogram_buckets_cumulative_and_inf_equals_count(self):
+        text = prometheus_text(_populated_registry().snapshot())
+        buckets = re.findall(
+            r'repro_aiu_miss_packet_size_bytes_bucket\{le="([^"]+)"\} (\d+)', text
+        )
+        values = [int(v) for _, v in buckets]
+        assert values == sorted(values)  # cumulative: monotone
+        assert buckets[-1][0] == "+Inf"
+        count = int(
+            re.search(r"repro_aiu_miss_packet_size_bytes_count (\d+)", text).group(1)
+        )
+        assert values[-1] == count == 4
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("gate.ip-options.dispatch").inc()
+        text = prometheus_text(reg.snapshot())
+        assert "repro_gate_ip_options_dispatch 1" in text
+
+    def test_disabled_snapshot_renders_empty(self):
+        from repro.telemetry import NULL_REGISTRY
+
+        assert prometheus_text(NULL_REGISTRY.snapshot()) == ""
+
+
+class TestJsonLines:
+    def test_ticks_on_virtual_clock(self):
+        reg = _populated_registry()
+        loop = EventLoop()
+        exporter = JsonLinesExporter(reg, loop, interval=0.5)
+        exporter.start()
+        loop.run(until=2.0)
+        assert len(exporter.lines) == 4  # t=0.5, 1.0, 1.5, 2.0
+        for line in exporter.lines:
+            record = json.loads(line)
+            assert record["enabled"] is True
+            assert record["counters"]["router.rx"] == 100
+        times = [json.loads(line)["time"] for line in exporter.lines]
+        assert times == [0.5, 1.0, 1.5, 2.0]
+
+    def test_stop_cancels_future_ticks(self):
+        reg = _populated_registry()
+        loop = EventLoop()
+        exporter = JsonLinesExporter(reg, loop, interval=0.5)
+        exporter.start()
+        loop.run(until=1.0)
+        exporter.stop()
+        loop.run(until=5.0)
+        assert len(exporter.lines) == 2
+
+    def test_custom_sink(self):
+        reg = _populated_registry()
+        loop = EventLoop()
+        seen = []
+        exporter = JsonLinesExporter(reg, loop, interval=1.0, sink=seen.append)
+        exporter.start()
+        loop.run(until=1.0)
+        assert len(seen) == 1 and json.loads(seen[0])["gauges"]["flow.active"] == 12
+
+    def test_interval_must_be_positive(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            JsonLinesExporter(MetricsRegistry(), loop, interval=0)

@@ -1,0 +1,170 @@
+"""Telemetry must be free in modelled cycles — bit-identical, not just
+close.
+
+Two scenarios (a cache-miss sweep and a seeded chaos storm) run twice
+each on the metered specification path, telemetry detached vs attached;
+the CycleMeter totals and per-label breakdowns must match exactly, and
+both are pinned against ``golden_invariance.json`` so a regression in
+either the cost model or the telemetry seams is caught even if it is
+symmetric.
+
+Also here: the histogram/counter coherence property under the
+differential-fuzz filter generators — every flow install observes the
+packet-size histogram exactly once, so bucket counts always sum to the
+flow-table miss counter.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core import (
+    DEGRADE_BYPASS,
+    DEGRADE_DROP,
+    FaultPolicy,
+    GATE_IP_OPTIONS,
+    GATE_IP_SECURITY,
+    Router,
+)
+from repro.net.addresses import IPV4_WIDTH, IPAddress
+from repro.net.packet import Packet, make_udp
+from repro.sim import ChaosPlugin
+from repro.sim.cost import CycleMeter
+from repro.workloads.filtersets import matching_probe, random_filters
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_invariance.json")
+
+PACKETS = 2_000
+
+
+def _build_router(chaos: bool) -> Router:
+    router = Router(name="inv", flow_buckets=512)
+    router.add_interface("atm0", prefix="10.0.0.0/8")
+    router.add_interface("atm1", prefix="20.0.0.0/8")
+    if chaos:
+        for name, gate, action, config in [
+            ("chaos-a", GATE_IP_OPTIONS, DEGRADE_DROP,
+             dict(fault_rate=0.05, seed=11)),
+            ("chaos-b", GATE_IP_SECURITY, DEGRADE_BYPASS,
+             dict(fault_rate=0.05, corrupt_rate=0.02, seed=22)),
+        ]:
+            plugin = ChaosPlugin(name=name)
+            router.pcu.load(plugin)
+            instance = plugin.create_instance(**config)
+            plugin.register_instance(instance, "*, *, UDP", gate=gate)
+            router.faults.set_policy(
+                name,
+                FaultPolicy(threshold=3, window=0.1, action=action,
+                            cooldown=0.05, ring_size=PACKETS),
+            )
+    return router
+
+
+def _packets(miss_sweep: bool):
+    for i in range(PACKETS):
+        if miss_sweep:
+            # Every packet a brand-new five-tuple: all slow path.
+            yield make_udp(
+                "10.0.0.1", "20.0.0.1", (i % 60000) + 1024,
+                (i // 60000) + 1024, iif="atm0",
+            ), i * 0.001
+        else:
+            yield make_udp(
+                f"10.0.0.{i % 8 + 1}", f"20.0.0.{i % 5 + 1}",
+                5000 + i % 40, 9000, iif="atm0",
+            ), i * 0.001
+
+
+def _run(scenario: str, telemetry: bool) -> dict:
+    chaos = scenario == "chaos_soak"
+    router = _build_router(chaos)
+    if telemetry:
+        router.attach_telemetry()
+    meter = CycleMeter()
+    dispositions = []
+    for packet, now in _packets(miss_sweep=not chaos):
+        dispositions.append(router.receive(packet, now=now, cycles=meter))
+    return {
+        "total": meter.total,
+        "breakdown": {k: meter.breakdown()[k] for k in sorted(meter.breakdown())},
+        "dispositions": sorted(
+            (str(d), dispositions.count(d)) for d in set(dispositions)
+        ),
+    }
+
+
+SCENARIOS = ("cache_miss", "chaos_soak")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_modelled_cycles_identical_on_vs_off(scenario):
+    off = _run(scenario, telemetry=False)
+    on = _run(scenario, telemetry=True)
+    assert on["total"] == off["total"]
+    assert on["breakdown"] == off["breakdown"]
+    assert on["dispositions"] == off["dispositions"]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_modelled_cycles_match_golden(scenario):
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)[scenario]
+    got = _run(scenario, telemetry=True)
+    assert got["total"] == golden["total"]
+    assert got["breakdown"] == golden["breakdown"]
+
+
+def test_fast_path_dispositions_identical_with_telemetry():
+    """Unmetered fast path: telemetry + tracer attached vs detached must
+    forward/drop the exact same packets in the exact same order."""
+    results = {}
+    for telemetry in (False, True):
+        router = _build_router(chaos=True)
+        if telemetry:
+            router.attach_telemetry()
+            router.attach_lifecycle_tracer(sample=2, capacity=64)
+        dispositions = [
+            router.receive(packet, now=now)
+            for packet, now in _packets(miss_sweep=False)
+        ]
+        results[telemetry] = (dispositions, dict(router.counters))
+    assert results[False] == results[True]
+
+
+class TestHistogramCoherence:
+    """Bucket counts always sum to the flow-table miss counter: the
+    histogram is observed exactly once per flow install, no matter what
+    filter shapes or probe traffic the fuzz generators produce."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_bucket_sum_equals_miss_counter(self, seed):
+        rng = random.Random(seed)
+        router = Router(name="fuzz", flow_buckets=256)
+        router.add_interface("atm0", prefix="10.0.0.0/8")
+        router.add_interface("atm1", prefix="0.0.0.0/0")
+        reg = router.attach_telemetry()
+        for flt in random_filters(32, seed=seed):
+            router.aiu.create_filter("ip_security", str(flt))
+        filters = router.aiu.filters("ip_security")
+        for _ in range(500):
+            flt = rng.choice(filters).filter
+            src, dst, protocol, sport, dport = matching_probe(flt, rng)
+            packet = Packet(
+                src=IPAddress(src, IPV4_WIDTH),
+                dst=IPAddress(dst, IPV4_WIDTH),
+                protocol=protocol,
+                src_port=sport, dst_port=dport, iif="atm0",
+                payload=bytes(rng.randrange(0, 2048)),
+            )
+            router.receive(packet)
+        hist = reg.histogram("aiu.miss_packet_size_bytes")
+        table = router.aiu.flow_table
+        assert hist.count == table.misses == table.births
+        assert hist.count > 0
+        snap = reg.snapshot()
+        assert (
+            snap["histograms"]["aiu.miss_packet_size_bytes"]["count"]
+            == snap["counters"]["flow.misses"]
+        )

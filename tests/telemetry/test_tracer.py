@@ -1,0 +1,149 @@
+"""Lifecycle tracer tests: flow sampling, span stage structure, and —
+the acceptance-critical one — the ring and the open-span table staying
+bounded under a 10k-packet chaos soak at sample=1."""
+
+import pytest
+
+from repro.core import (
+    DEGRADE_BYPASS,
+    DEGRADE_DROP,
+    FaultPolicy,
+    GATE_IP_OPTIONS,
+    GATE_IP_SECURITY,
+    Router,
+)
+from repro.net.packet import make_udp
+from repro.sim import ChaosPlugin
+from repro.telemetry import LifecycleTracer
+
+
+def _router(chaos=False):
+    router = Router(name="trace", flow_buckets=512)
+    router.add_interface("atm0", prefix="10.0.0.0/8")
+    router.add_interface("atm1", prefix="20.0.0.0/8")
+    if chaos:
+        for name, gate, action, config in [
+            ("chaos-a", GATE_IP_OPTIONS, DEGRADE_DROP,
+             dict(fault_rate=0.05, seed=11)),
+            ("chaos-b", GATE_IP_SECURITY, DEGRADE_BYPASS,
+             dict(fault_rate=0.05, corrupt_rate=0.02, seed=22)),
+        ]:
+            plugin = ChaosPlugin(name=name)
+            router.pcu.load(plugin)
+            instance = plugin.create_instance(**config)
+            plugin.register_instance(instance, "*, *, UDP", gate=gate)
+            router.faults.set_policy(
+                name,
+                FaultPolicy(threshold=3, window=0.1, action=action,
+                            cooldown=0.05, ring_size=64),
+            )
+    return router
+
+
+class TestSampling:
+    def test_sample_1_traces_everything(self):
+        router = _router()
+        tracer = router.attach_lifecycle_tracer(sample=1, capacity=64)
+        for i in range(20):
+            router.receive(make_udp("10.0.0.1", "20.0.0.1", 1000 + i, 9000, iif="atm0"))
+        assert tracer.sampled == 20
+
+    def test_sampling_is_per_flow_not_per_packet(self):
+        router = _router()
+        tracer = router.attach_lifecycle_tracer(sample=7, capacity=256)
+        flows = {}
+        for i in range(200):
+            packet = make_udp(
+                f"10.0.0.{i % 16 + 1}", "20.0.0.1", 5000 + i % 16, 9000, iif="atm0"
+            )
+            flows.setdefault(packet.flow_fold32() % 7 == 0, 0)
+            flows[packet.flow_fold32() % 7 == 0] += 1
+            router.receive(packet)
+        # Every packet of a sampled flow is traced; none of the others.
+        assert tracer.sampled == flows.get(True, 0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LifecycleTracer(sample=0)
+        with pytest.raises(ValueError):
+            LifecycleTracer(capacity=0)
+
+
+class TestSpans:
+    def test_span_records_stage_walk(self):
+        router = _router()
+        tracer = router.attach_lifecycle_tracer(sample=1, capacity=8)
+        router.receive(make_udp("10.0.0.1", "20.0.0.1", 1000, 9000, iif="atm0"))
+        (span,) = tracer.spans()
+        stages = [stage for stage, _, _ in span.stages]
+        assert stages[0].startswith("gate:")
+        assert "route" in stages
+        assert stages[-1] == "forward"  # direct tx: no scheduler queue
+        assert span.disposition == "forwarded"
+        assert span.total_cycles > 0
+        assert sum(cycles for _, cycles, _ in span.stages) == span.total_cycles
+
+    def test_queued_span_closes_on_emit(self):
+        """With a scheduler bound, the span stays open across the queue
+        and the emit stage carries the queue-wait virtual time."""
+        from repro.mgr import RouterPluginLibrary
+
+        router = _router()
+        library = RouterPluginLibrary(router)
+        library.modload("drr")
+        library.create_instance("drr", "drr0")
+        library.bind("drr0", "10.*, *, UDP")
+        tracer = router.attach_lifecycle_tracer(sample=1, capacity=8)
+        router.receive(make_udp("10.0.0.1", "20.0.0.1", 1000, 9000, iif="atm0"))
+        (span,) = tracer.spans()
+        stages = [stage for stage, _, _ in span.stages]
+        assert span.disposition == "queued"
+        assert stages[-1] == "emit"
+        assert span.total_cycles > 0
+
+    def test_to_dict_is_json_shaped(self):
+        router = _router()
+        tracer = router.attach_lifecycle_tracer(sample=1, capacity=8)
+        router.receive(make_udp("10.0.0.1", "20.0.0.1", 1000, 9000, iif="atm0"))
+        data = tracer.to_dict()
+        assert data["sampled"] == data["recorded"] == 1
+        (span,) = data["spans"]
+        assert {"stage", "cycles", "vtime"} == set(span["stages"][0])
+
+
+class TestBoundedMemory:
+    def test_ring_never_grows_under_chaos_soak(self):
+        """10k packets, every flow sampled, capacity 128: the ring holds
+        at most 128 spans and the open table never exceeds capacity."""
+        router = _router(chaos=True)
+        tracer = router.attach_lifecycle_tracer(sample=1, capacity=128)
+        for i in range(10_000):
+            packet = make_udp(
+                f"10.0.0.{i % 8 + 1}", f"20.0.0.{i % 5 + 1}",
+                5000 + i % 40, 9000, iif="atm0",
+            )
+            router.receive(packet, now=i * 0.001)
+            assert tracer.open_spans() <= tracer.capacity
+        assert tracer.sampled == 10_000
+        assert len(tracer) <= 128
+        assert len(tracer.spans()) <= 128
+        assert len(tracer._ring) == 128  # preallocated, never reallocated
+        # The ring holds the newest spans: recorded keeps counting.
+        assert tracer.recorded >= 10_000 - tracer.capacity
+
+    def test_ring_keeps_newest_spans_in_order(self):
+        router = _router()
+        tracer = router.attach_lifecycle_tracer(sample=1, capacity=4)
+        for i in range(10):
+            router.receive(make_udp("10.0.0.1", "20.0.0.1", 1000 + i, 9000, iif="atm0"))
+        spans = tracer.spans()
+        assert len(spans) == 4
+        ids = [span.packet_id for span in spans]
+        assert ids == sorted(ids)  # oldest-first
+
+    def test_detach_restores_fast_path(self):
+        router = _router()
+        router.attach_lifecycle_tracer(sample=1, capacity=8)
+        router.detach_lifecycle_tracer()
+        assert router._lifecycle is None
+        router.receive(make_udp("10.0.0.1", "20.0.0.1", 1000, 9000, iif="atm0"))
