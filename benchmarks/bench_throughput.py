@@ -18,6 +18,11 @@ Python packets-per-second on five workloads:
   distinct /24 filters installed at one gate, every packet a new flow,
   so each miss classifies through a 256-filter DAG (the paper's claim is
   that this costs the same as a small set).
+* ``batch_cached`` / ``batch_miss`` — the ``cached_hit`` / ``cache_miss``
+  traffic driven through ``receive_batch`` in fixed 256-packet bursts:
+  the DPDK-style arrival pattern the batched run-to-completion pipeline
+  is built for, paying the per-batch prologue (plan check, loop lookup,
+  context pooling) once per burst instead of once per pass.
 * ``telemetry_off`` / ``telemetry_on`` — the ``cached_hit`` workload
   with and without a :class:`repro.telemetry.MetricsRegistry` attached.
   The pair gates the telemetry fast-path overhead: ``scripts/
@@ -188,7 +193,10 @@ def make_filter_packets(n: int):
     ]
 
 
-def _time_pass(router: Router, packets, use_batch: bool) -> float:
+BURST = 256         # burst size of the batch_* workloads
+
+
+def _time_pass(router: Router, packets, use_batch: bool, burst: int = 0) -> float:
     receive_batch = getattr(router, "receive_batch", None)
     # A collector pass landing inside one timed run but not another is
     # the dominant noise source on the allocation-heavy miss workloads;
@@ -198,7 +206,10 @@ def _time_pass(router: Router, packets, use_batch: bool) -> float:
     gc.disable()
     try:
         start = time.perf_counter()
-        if use_batch and receive_batch is not None:
+        if burst and receive_batch is not None:
+            for at in range(0, len(packets), burst):
+                receive_batch(packets[at:at + burst])
+        elif use_batch and receive_batch is not None:
             receive_batch(packets)
         else:
             receive = router.receive
@@ -216,6 +227,8 @@ WORKLOADS = (
     "gates3",
     "miss_churn",
     "filters256",
+    "batch_cached",
+    "batch_miss",
     "telemetry_off",
     "telemetry_on",
     "telemetry_off_miss",
@@ -232,9 +245,21 @@ def run_workload(name: str, n: int, reps: int, use_batch: bool) -> float:
         reps *= 2
     for _ in range(reps):
         warmed = 0
+        burst = 0
         if name == "cache_miss":
             router = build_router()           # fresh table: every packet misses
             packets = make_miss_packets(n)
+        elif name == "batch_cached":
+            router = build_router()
+            for warm in make_cached_packets(FLOWS):
+                router.receive(warm)
+            warmed = FLOWS
+            packets = make_cached_packets(n)
+            burst = BURST
+        elif name == "batch_miss":
+            router = build_router()
+            packets = make_miss_packets(n)
+            burst = BURST
         elif name == "miss_churn":
             router = build_router(max_flows=CHURN_CAP)
             packets = make_churn_packets(n)
@@ -261,7 +286,7 @@ def run_workload(name: str, n: int, reps: int, use_batch: bool) -> float:
                 router.receive(warm)
             warmed = FLOWS
             packets = make_cached_packets(n)
-        elapsed = _time_pass(router, packets, use_batch)
+        elapsed = _time_pass(router, packets, use_batch, burst=burst)
         expected = router.counters["forwarded"] - warmed
         if expected != n:
             raise RuntimeError(f"{name}: forwarded {expected} of {n} packets")
@@ -313,6 +338,26 @@ def run_telemetry_pair(kind: str, n: int, reps: int, use_batch: bool):
                 warmed = FLOWS
             if mode == "on":
                 router.attach_telemetry()
+            if use_batch:
+                # Compile the batch loop (and the AIU's compiled tables)
+                # outside the timed region: the pair gates a 5% ratio,
+                # and the one-off exec-compile on a fresh router's first
+                # batch is the same order as the seam being measured.
+                # The warm flows are disjoint from the measured set.
+                warm_burst = [
+                    Packet(
+                        src=IPAddress.parse("10.255.0.1"),
+                        dst=IPAddress.parse(f"20.255.0.{i + 1}"),
+                        protocol=PROTO_UDP,
+                        src_port=40000 + i,
+                        dst_port=40000,
+                        iif="atm0",
+                        payload=PAYLOAD,
+                    )
+                    for i in range(32)
+                ]
+                router.receive_batch(warm_burst)
+                warmed += len(warm_burst)
             elapsed = _time_pass(router, packets, use_batch)
             expected = router.counters["forwarded"] - warmed
             if expected != n:
@@ -334,7 +379,12 @@ def measure(quick: bool, use_batch: bool) -> dict:
             if kind in paired_done:
                 continue
             paired_done.add(kind)
-            off, on = run_telemetry_pair(kind, n, reps * 4, use_batch)
+            # The 5%/8% ratio gate needs a converged best-of: at 8 reps
+            # the ratio of two best-of estimates still wobbles by a few
+            # percent on a loaded machine; 16 reps of these cheap passes
+            # is where it settles (the pair workloads are the smallest
+            # in the suite, so this costs well under a second).
+            off, on = run_telemetry_pair(kind, n, max(16, reps * 4), use_batch)
             suffix = "" if kind == "cached" else "_miss"
             results[f"telemetry_off{suffix}"] = round(off, 1)
             results[f"telemetry_on{suffix}"] = round(on, 1)

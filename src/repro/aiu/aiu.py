@@ -69,6 +69,7 @@ class AIU:
         initial_records: int = INITIAL_RECORDS,
         max_records: Optional[int] = None,
         use_flow_cache: bool = True,
+        evict_policy: str = "lru",
     ):
         if not gates:
             raise ValueError("AIU needs at least one gate")
@@ -89,6 +90,7 @@ class AIU:
             buckets=flow_buckets,
             initial_records=initial_records,
             max_records=max_records,
+            evict_policy=evict_policy,
         )
         self.flow_table.on_remove = self._notify_flow_removed
         self.filter_lookups = 0

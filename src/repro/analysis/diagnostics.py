@@ -39,6 +39,7 @@ CODES: Dict[str, Tuple[str, str]] = {
     "RP205": (ERROR, "packet-bytes touch without a cost-model charge"),
     "RP206": (WARNING, "over-broad except Exception on the data path"),
     "RP207": (WARNING, "metric emission bypasses the telemetry registry"),
+    "RP208": (WARNING, "per-packet recomputation of loop-invariant work in a batch hook"),
     # RP3xx — compiled/interpreted equivalence (repro.analysis.equivalence).
     "RP301": (ERROR, "compiled DAG walk diverges from interpreted matchers"),
     "RP302": (ERROR, "compiled BMP lookup diverges from engine lookup"),

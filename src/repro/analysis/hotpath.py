@@ -28,6 +28,14 @@ same-package helper functions, and flags:
   ``self.counters[...] += 1``, …) on the data path.  Plugin-local metrics
   belong in registry handles grabbed at bind time (docs/OBSERVABILITY.md)
   so exporters and ``pmgr show telemetry`` can see them.
+* RP208 — per-packet work inside a batch hook (``on_batch_start``,
+  ``process_batch``, ``on_batch_end``) that does not depend on the
+  packet being iterated: an assignment inside a loop over a hook
+  parameter whose right-hand side calls or dereferences only
+  loop-invariant names.  The whole point of the batch hooks is hoisting
+  such work to one evaluation per batch (docs/PERFORMANCE.md, "Batched
+  pipeline"); recomputing it per packet silently re-creates the scalar
+  overhead the compiled batch loops removed.
 
 Findings on a source line carrying ``# rp: ignore[RPxxx]`` (or a blanket
 ``# rp: ignore``) are suppressed.  Everything runs on source text via
@@ -47,6 +55,11 @@ from .diagnostics import AnalysisReport, Diagnostic, is_suppressed
 
 #: Data-path root methods, per the plugin/scheduler contracts.
 ROOT_METHODS = ("process", "enqueue", "dequeue", "on_flow_created", "on_flow_removed")
+
+#: Batch-pipeline hooks (repro.core.batch): called once per batch, so
+#: they are data-path roots too — and additionally get the RP208
+#: loop-invariance check.
+BATCH_HOOKS = ("on_batch_start", "process_batch", "on_batch_end")
 
 _BLOCKING_BUILTINS = {"open", "input"}
 _BLOCKING_MODULES = {"socket", "subprocess", "requests", "urllib", "http", "select"}
@@ -349,6 +362,79 @@ class _FunctionLint:
                     "__init__)",
                 )
 
+    def check_batch_invariants(self) -> None:
+        """RP208: loop-invariant work recomputed per packet in a batch
+        hook.  Walks each ``for`` loop over a hook parameter, tracking a
+        taint set seeded with the loop targets (names derived from the
+        per-item value are loop-variant); an assignment whose right-hand
+        side performs work (a call, attribute load, or subscript) while
+        referencing no tainted name could have been hoisted."""
+        args = self.node.args
+        params = {
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            if a.arg != "self"
+        }
+        for loop in ast.walk(self.node):
+            if isinstance(loop, ast.For) and self._loops_over(loop.iter, params):
+                tainted = {
+                    n.id for n in ast.walk(loop.target) if isinstance(n, ast.Name)
+                }
+                self._flag_invariant_assigns(loop.body, tainted)
+
+    @staticmethod
+    def _loops_over(iter_node: ast.expr, params: Set[str]) -> bool:
+        if isinstance(iter_node, ast.Name):
+            return iter_node.id in params
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("enumerate", "reversed", "sorted")
+            and iter_node.args
+        ):
+            first = iter_node.args[0]
+            return isinstance(first, ast.Name) and first.id in params
+        return False
+
+    def _flag_invariant_assigns(self, body: List[ast.stmt], tainted: Set[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                refs = {
+                    n.id for n in ast.walk(stmt.value) if isinstance(n, ast.Name)
+                }
+                works = any(
+                    isinstance(n, (ast.Call, ast.Attribute, ast.Subscript))
+                    for n in ast.walk(stmt.value)
+                )
+                if refs & tainted or not works:
+                    # Loop-variant (or trivially cheap): its targets now
+                    # carry per-item values.
+                    for target in stmt.targets:
+                        for n in ast.walk(target):
+                            if isinstance(n, ast.Name):
+                                tainted.add(n.id)
+                else:
+                    self.emit(
+                        "RP208",
+                        stmt,
+                        "loop-invariant work recomputed per packet inside a "
+                        "batch hook",
+                        "hoist the assignment to the per-batch prologue "
+                        "(before the packet loop)",
+                    )
+            elif isinstance(stmt, ast.AugAssign):
+                if isinstance(stmt.target, ast.Name):
+                    tainted.add(stmt.target.id)
+            elif isinstance(stmt, ast.For):
+                tainted |= {
+                    n.id for n in ast.walk(stmt.target) if isinstance(n, ast.Name)
+                }
+                self._flag_invariant_assigns(stmt.body, tainted)
+                self._flag_invariant_assigns(stmt.orelse, tainted)
+                continue
+            for field in ("body", "orelse", "finalbody"):
+                self._flag_invariant_assigns(getattr(stmt, field, []), tainted)
+
     def _check_metric_assign(self, node: ast.AST) -> None:
         """RP207: ``self.stats[...] = / += ...`` style ad-hoc metric
         stores on the data path, invisible to exporters."""
@@ -482,11 +568,15 @@ def lint_plugin(plugin) -> List[Diagnostic]:
     diagnostics: List[Diagnostic] = []
     seen: Set[Tuple[str, Optional[str], Optional[int]]] = set()
     for instance_cls in _instance_classes(plugin_cls):
-        for method_name in ROOT_METHODS:
+        for method_name in (*ROOT_METHODS, *BATCH_HOOKS):
             root = getattr(instance_cls, method_name, None)
             if root is None or not callable(root):
                 continue
             lints = _closure_lints(root, instance_cls)
+            if method_name in BATCH_HOOKS and lints:
+                # The root lint is first on the closure list; only the
+                # hook body itself gets the loop-invariance check.
+                lints[0].check_batch_invariants()
             has_charge = any(l.has_charge for l in lints)
             for lint in lints:
                 for diagnostic in lint.diagnostics:

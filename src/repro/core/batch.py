@@ -1,0 +1,989 @@
+"""Per-plan compiled batch loops for ``Router.receive_batch``.
+
+PR 3 compiled the *classifier* per filter-set; this module extends the
+same technique to the dispatch loop itself.  ``loop_for`` returns a
+batch-loop function generated with ``exec`` and specialized to the
+router's current configuration:
+
+* the active-gate plan (which gates actually have filters),
+* telemetry on/off (the per-gate dispatch cells are compiled in or out),
+* the flow table's eviction policy and whether it is bounded,
+* whether any local addresses / quarantined plugins exist,
+* whether every interface is a plain :class:`NetworkInterface` (the
+  transmit bookkeeping can then be inlined).
+
+Three loop shapes are generated:
+
+``single``  — one run-to-completion pass per packet with the flow-table
+              probe, route memo, and transmit inlined; used when no
+              pre-routing gate has filters.
+``lanes``   — a vectorized classify stage partitions the batch into
+              cached-hit and miss work against the flow table (misses
+              additionally walk the filter tables), then each active
+              gate's plugin runs once per batch over the surviving lane
+              with a pooled context, then a per-packet tail performs
+              route lookup and batched emit.
+``fused``   — the ``single`` pass with quarantine interception and
+              fault mapping inlined; selected whenever a plugin is
+              quarantined or the flow table is bounded (in-batch
+              evictions must interleave with packet processing exactly
+              as the scalar path would).
+
+Every shape is *behaviorally identical* to calling ``receive`` in a
+loop — dispositions, counters, flow-table and telemetry state are
+packet-for-packet equal (asserted by tests/perf/test_batch_pipeline.py)
+and modelled cycles are untouched because the batch path only ever runs
+unmetered.  The win is wall-clock only: per-batch prologues hoist every
+invariant load, and the per-packet interpreter overhead of the scalar
+walk (10-20 method calls) collapses into straight-line code.
+
+A mid-batch plugin fault cannot be run-to-completion: the scalar path
+would process later packets *after* the fault's verdict (and possible
+quarantine trip).  The generated loops therefore bail out to a split
+helper that finishes earlier packets with interception suppressed (their
+plugin calls logically preceded the fault), applies the fault verdict to
+the faulting packet, and re-runs the remainder through the scalar walk.
+
+Documented divergences (see docs/PERFORMANCE.md): filter-set changes
+made *by a plugin mid-batch* take effect at the next batch boundary
+(the plan is checked once per batch); with multiple faults in one batch
+the fault-ring sequence numbers may interleave differently than scalar;
+and an instance quarantined by a mid-batch scheduler fault is
+gate-intercepted only from the next batch on.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Callable, Optional
+
+from ..aiu.filters import flow_key_of
+from ..aiu.records import GateSlot
+from ..net.icmp import destination_unreachable, time_exceeded
+from ..net.interfaces import NetworkInterface
+from ..net.packet import PARSE_STATS
+from ..sim.cost import NULL_METER
+from .faults import DEGRADE_BYPASS
+from .gates import GATE_PACKET_SCHEDULING, GATE_ROUTING
+from .plugin import PluginContext, Verdict
+from .router import Disposition
+
+#: Optional plugin hook: ``on_batch_start(now, batch_size)`` is called
+#: once per batch for every instance bound through the current filter
+#: set (or registered as a scheduler) at compile time.  The contract is
+#: that the hook must not change observable per-packet behavior — it
+#: exists so a plugin can hoist its own per-packet invariants (see
+#: docs/PLUGIN_AUTHORING.md and the RP208 lint).
+BATCH_START_HOOK = "on_batch_start"
+
+_MAX_CACHED_LOOPS = 32
+
+
+# ----------------------------------------------------------------------
+# Fault splitting: the batch loops return through these when a plugin
+# raises mid-batch.  Scalar equivalence argument per helper docstring.
+# ----------------------------------------------------------------------
+def _split_gate(
+    router, exc, instance, gate, gate_pos, gate_index,
+    lane_p, lane_i, live, j, now, out, cells,
+):
+    """A plugin raised during a pre-gate batch sweep.
+
+    Packets before the faulter already passed this gate; they resume at
+    the next plan position with quarantine interception suppressed —
+    scalar would have run them to completion *before* the fault could
+    trip a quarantine.  The faulter takes the fault verdict; packets
+    after it re-run this gate (and see any new quarantine), exactly as
+    the scalar order implies.
+    """
+    if cells is not None:
+        # The sweep bulk-counted the whole lane for this gate; packets
+        # after the faulter never ran it and will be re-counted by the
+        # scalar walk below.
+        cells[gate_index] -= len(lane_p) - j - 1
+    verdict = router.faults.on_fault(instance, gate, exc, lane_p[j], now)
+    pool = router._ctx_pool
+    walk = router._walk_fast
+    counters = router.counters
+    for k in range(j):
+        if live is None or live[k]:
+            out[lane_i[k]] = walk(lane_p[k], gate_pos + 1, now, pool, False)
+    if verdict == Verdict.DROP:
+        counters[Disposition.DROPPED_BY_PLUGIN] += 1
+        out[lane_i[j]] = Disposition.DROPPED_BY_PLUGIN
+    elif verdict == Verdict.CONSUMED:
+        counters[Disposition.CONSUMED] += 1
+        out[lane_i[j]] = Disposition.CONSUMED
+    else:
+        out[lane_i[j]] = walk(lane_p[j], gate_pos + 1, now, pool)
+    for k in range(j + 1, len(lane_p)):
+        out[lane_i[k]] = walk(lane_p[k], gate_pos, now, pool)
+    return out
+
+
+def _fault_routing(router, exc, instance, packet, now):
+    """Apply a routing-gate fault verdict to one packet, mirroring
+    ``_route_fast`` + the no-route/forward tail of ``_walk_fast``."""
+    verdict = router.faults.on_fault(instance, GATE_ROUTING, exc, packet, now)
+    counters = router.counters
+    route = None
+    if verdict != Verdict.DROP:
+        route = packet.annotations.get("route")
+        if route is None:
+            table = router.routing_table
+            record = packet._fix
+            if record is not None:
+                if (
+                    record.route_version == table.version
+                    and record.route is not None
+                ):
+                    route = record.route
+                else:
+                    route = table.lookup_fast(packet.dst)
+                    if route is not None:
+                        record.route = route
+                        record.route_version = table.version
+            else:
+                route = table.lookup_fast(packet.dst)
+    if route is None:
+        counters[Disposition.DROPPED_NO_ROUTE] += 1
+        router._send_icmp(
+            destination_unreachable(packet, router._icmp_source(packet)), now
+        )
+        return Disposition.DROPPED_NO_ROUTE
+    packet.ttl -= 1
+    return router._output_fast(packet, route.interface, now, router._ctx_pool)
+
+
+def _fault_sched(router, exc, instance, packet, oif, iface, now):
+    """Apply a scheduling-gate fault verdict to one packet, mirroring
+    the sched-gate verdict handling in ``_output_fast`` (the MTU check
+    already passed before the gate ran)."""
+    verdict = router.faults.on_fault(
+        instance, GATE_PACKET_SCHEDULING, exc, packet, now
+    )
+    counters = router.counters
+    if verdict == Verdict.DROP:
+        counters[Disposition.DROPPED_BY_PLUGIN] += 1
+        return Disposition.DROPPED_BY_PLUGIN
+    if verdict == Verdict.CONSUMED:
+        router._schedulers.setdefault(oif, instance)
+        router._kick(oif, now)
+        counters[Disposition.QUEUED] += 1
+        return Disposition.QUEUED
+    iface.output(packet, now)
+    counters[Disposition.FORWARDED] += 1
+    return Disposition.FORWARDED
+
+
+def _split_routing(router, exc, instance, lane_p, lane_i, j, now, out, pre_count):
+    """Routing-gate fault during the lanes-shape tail sweep."""
+    out[lane_i[j]] = _fault_routing(router, exc, instance, lane_p[j], now)
+    pool = router._ctx_pool
+    walk = router._walk_fast
+    for k in range(j + 1, len(lane_p)):
+        out[lane_i[k]] = walk(lane_p[k], pre_count, now, pool)
+    return out
+
+
+def _split_tail(
+    router, exc, instance, oif, iface, lane_p, lane_i, j, now, out, pre_count
+):
+    """Scheduling-gate fault during the lanes-shape tail sweep."""
+    out[lane_i[j]] = _fault_sched(
+        router, exc, instance, lane_p[j], oif, iface, now
+    )
+    pool = router._ctx_pool
+    walk = router._walk_fast
+    for k in range(j + 1, len(lane_p)):
+        out[lane_i[k]] = walk(lane_p[k], pre_count, now, pool)
+    return out
+
+
+def _split_single_routing(router, exc, instance, packets, i, now, out):
+    """Routing-gate fault in a single-pass loop: later packets have not
+    been classified yet, so they resume through the full scalar walk
+    (minus the ``rx`` count, taken once for the batch)."""
+    out[i] = _fault_routing(router, exc, instance, packets[i], now)
+    resume = router._resume_fast
+    pool = router._ctx_pool
+    for k in range(i + 1, len(packets)):
+        out[k] = resume(packets[k], now, pool)
+    return out
+
+
+def _split_single_sched(router, exc, instance, oif, iface, packets, i, now, out):
+    """Scheduling-gate fault in a single-pass loop."""
+    out[i] = _fault_sched(router, exc, instance, packets[i], oif, iface, now)
+    resume = router._resume_fast
+    pool = router._ctx_pool
+    for k in range(i + 1, len(packets)):
+        out[k] = resume(packets[k], now, pool)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Compilation entry point
+# ----------------------------------------------------------------------
+def loop_for(router) -> Optional[Callable]:
+    """The compiled batch loop for the router's *current* plan, or
+    ``None`` when the configuration is not specialized (scalar fallback:
+    flow cache disabled, IPv6 flow-label hashing, or no pre-routing
+    gate to anchor classification at).
+
+    Loops are cached on the router keyed by the full specialization
+    tuple; the key embeds ``plan_epoch``, so any filter create/remove
+    invalidates every compiled loop implicitly.
+    """
+    aiu = router.aiu
+    table = aiu.flow_table
+    if (
+        not aiu.use_flow_cache
+        or table.use_flow_label
+        or router._first_pre_gate is None
+    ):
+        return None
+    bounded = table.max_records is not None
+    # Bounded tables interleave evictions with packet processing and a
+    # live quarantine intercepts every plugin call — both must stay in
+    # scalar order, which only the fused single-pass shape preserves.
+    fused = bounded or bool(router._quarantined)
+    plain = all(
+        type(iface) is NetworkInterface for iface in router.interfaces.values()
+    )
+    key = (
+        fused,
+        router._plan_epoch,
+        router._plan_pre_active,
+        router._plan_routing_active,
+        router._plan_sched_active,
+        router._tm_gate_cells is not None,
+        bool(router.local_addresses),
+        table._clock,
+        bounded,
+        plain,
+    )
+    loops = router._batch_loops
+    loop = loops.get(key)
+    if loop is None:
+        if len(loops) >= _MAX_CACHED_LOOPS:
+            loops.clear()
+        loop = _compile(router, fused, plain)
+        loops[key] = loop
+    return loop
+
+
+def _batch_hooks(router) -> tuple:
+    """Collect ``on_batch_start`` hooks from every instance reachable
+    through the current filter set or scheduler bindings.  Refreshed on
+    recompilation (any ``plan_epoch`` bump); instances that appear only
+    later (e.g. a scheduler bound mid-batch) join on the next epoch."""
+    hooks = []
+    seen = set()
+    instances = [rec.instance for rec in router.aiu.filters()]
+    instances.extend(router._schedulers.values())
+    for instance in instances:
+        if instance is None or id(instance) in seen:
+            continue
+        seen.add(id(instance))
+        hook = getattr(instance, BATCH_START_HOOK, None)
+        if hook is not None:
+            hooks.append(hook)
+    return tuple(hooks)
+
+
+def _compile(router, fused: bool, plain: bool) -> Callable:
+    aiu = router.aiu
+    table = aiu.flow_table
+    plan = {
+        "fused": fused,
+        "pre": router._plan_pre_active,
+        "tm": router._tm_gate_cells is not None,
+        "local": bool(router.local_addresses),
+        "clock": table._clock,
+        "bounded": table.max_records is not None,
+        "plain": plain,
+        "first_gi": router._gate_indices[router._first_pre_gate],
+        "gate_count": len(router.gates),
+        "has_routing": router._has_routing_gate,
+        "routing_active": router._plan_routing_active,
+        "routing_gi": router._gate_indices.get(GATE_ROUTING),
+        "has_sched": router._has_sched_gate,
+        "sched_active": router._plan_sched_active,
+        "sched_gi": router._gate_indices.get(GATE_PACKET_SCHEDULING),
+        "hooks": _batch_hooks(router),
+    }
+    source = _emit(plan)
+    namespace = {
+        "PluginContext": PluginContext,
+        "GateSlot": GateSlot,
+        "NULL": NULL_METER,
+        "flow_key_of": flow_key_of,
+        "PSTATS": PARSE_STATS,
+        "TEXC": time_exceeded,
+        "DUNR": destination_unreachable,
+        "BYPASS": DEGRADE_BYPASS,
+        "DROPV": Verdict.DROP,
+        "CONSV": Verdict.CONSUMED,
+        "FWDD": Disposition.FORWARDED,
+        "DBP": Disposition.DROPPED_BY_PLUGIN,
+        "DNR": Disposition.DROPPED_NO_ROUTE,
+        "DTTL": Disposition.DROPPED_TTL,
+        "QUED": Disposition.QUEUED,
+        "CONSD": Disposition.CONSUMED,
+        "RGATE": GATE_ROUTING,
+        "SGATE": GATE_PACKET_SCHEDULING,
+        "HOOKS": plan["hooks"],
+        "MAXR": table.max_records,
+        "_split_gate": _split_gate,
+        "_split_routing": _split_routing,
+        "_split_tail": _split_tail,
+        "_split_single_routing": _split_single_routing,
+        "_split_single_sched": _split_single_sched,
+    }
+    code = compile(source, "<repro.core.batch>", "exec")
+    exec(code, namespace)
+    fn = namespace["_batch_loop"]
+    fn._source = source          # introspection for tests/debugging
+    fn._plan = dict(plan)
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Source emission
+# ----------------------------------------------------------------------
+def _emit(plan) -> str:
+    lines = []
+
+    def blk(depth, text):
+        for raw in textwrap.dedent(text).strip("\n").splitlines():
+            lines.append("    " * depth + raw if raw.strip() else "")
+
+    _emit_prologue(blk, plan)
+    if plan["fused"] or not plan["pre"]:
+        _emit_single(blk, plan)
+    else:
+        _emit_lanes(blk, plan)
+    blk(1, """
+        finally:
+            if fwd:
+                # Guarded: a Counter materializes the key even on += 0,
+                # which would diverge from a scalar run that never
+                # forwarded anything.
+                counters[FWDD] += fwd
+            table.hits += hits
+        return out
+    """)
+    return "\n".join(lines) + "\n"
+
+
+def _emit_prologue(blk, plan):
+    blk(0, """
+        def _batch_loop(router, packets, now):
+            aiu = router.aiu
+            table = aiu.flow_table
+            classify = aiu.classify
+            buckets = table._buckets
+            mask = table._mask
+            free = table._free
+            counters = router.counters
+            pool = router._ctx_pool
+            rtable = router.routing_table
+            rlookup = rtable.lookup_fast
+            ifget = router.interfaces.get
+            schedulers = router._schedulers
+            wp4 = aiu._width_plans.get(32, ())
+            wp6 = aiu._width_plans.get(128, ())
+            n = len(packets)
+            counters["rx"] += n
+            out = [FWDD] * n
+            fwd = 0
+            hits = 0
+    """)
+    if plan["tm"]:
+        blk(1, """
+            cells = router._tm_gate_cells
+            tm_counts = aiu._tm_size_counts
+            tm_len = len(tm_counts)
+            tm_hist = aiu._tm_size_hist
+        """)
+    if plan["local"]:
+        blk(1, "local_addrs = router.local_addresses")
+    if plan["fused"]:
+        blk(1, """
+            qmap = router._quarantined
+            qget = qmap.get
+            on_fault = router.faults.on_fault
+            probe_ok = router.faults.probe_succeeded
+        """)
+    if plan["hooks"]:
+        blk(1, """
+            for hook in HOOKS:
+                hook(now, n)
+        """)
+    # Pooled contexts, initialized once per batch (the scalar gate macro
+    # re-assigns now/cycles/out_interface per call; the values are batch
+    # invariants for everything but the sched gate's out_interface).
+    gates = list(plan["pre"])
+    if plan["has_routing"] and plan["routing_active"]:
+        gates.append((GATE_ROUTING, plan["routing_gi"]))
+    if plan["has_sched"]:
+        gates.append((GATE_PACKET_SCHEDULING, plan["sched_gi"]))
+    for gate, gi in gates:
+        blk(1, f"""
+            ctx_{gi} = pool.get({gate!r})
+            if ctx_{gi} is None:
+                ctx_{gi} = PluginContext(router=router, gate={gate!r})
+                pool[{gate!r}] = ctx_{gi}
+            ctx_{gi}.now = now
+            ctx_{gi}.cycles = NULL
+            ctx_{gi}.out_interface = None
+        """)
+    blk(1, "try:")
+
+
+def _emit_classify(blk, plan, depth):
+    """The classify stage for one packet: an inlined ``FlowTable.lookup``
+    (hit) or install + filter-table walk (miss), state-identical to
+    ``AIU.classify`` anchored at the first pre-routing gate."""
+    blk(depth, """
+        record = packet._fix
+        if record is None:
+            src_a = packet.src
+            dst_a = packet.dst
+            sv = src_a.value
+            dv = dst_a.value
+            sw = src_a.width
+            proto = packet.protocol
+            sp = packet.src_port
+            dp = packet.dst_port
+            fold = packet._flow_fold
+            if fold is None:
+                fold = sv ^ dv
+                while fold >> 32:
+                    fold = (fold & 0xFFFFFFFF) ^ (fold >> 32)
+                fold ^= (proto << 24) ^ (sp << 12) ^ dp
+                fold ^= fold >> 16
+                packet._flow_fold = fold
+                PSTATS.tuple_derivations += 1
+            iifv = packet.iif
+            record = buckets[fold & mask]
+            while record is not None:
+                rkey = record.key
+                if (rkey.src == sv and rkey.src_width == sw
+                        and rkey.dst == dv and rkey.protocol == proto
+                        and rkey.sport == sp and rkey.dport == dp
+                        and rkey.iif == iifv):
+                    break
+                record = record.hash_next
+            if record is not None:
+                record.last_used = now
+                record.packets += 1
+                size = packet._length
+                if size < 0:
+                    size = packet.length
+                record.bytes += size
+    """)
+    if plan["clock"]:
+        blk(depth + 2, "record.ref = True")
+    else:
+        blk(depth + 2, """
+            if table._lru_head is not record:
+                prevr = record.lru_prev
+                nxtr = record.lru_next
+                prevr.lru_next = nxtr
+                if nxtr is not None:
+                    nxtr.lru_prev = prevr
+                else:
+                    table._lru_tail = prevr
+                headr = table._lru_head
+                record.lru_prev = None
+                record.lru_next = headr
+                headr.lru_prev = record
+                table._lru_head = record
+        """)
+    blk(depth + 2, "hits += 1")
+    blk(depth + 1, """
+        else:
+            table.misses += 1
+            fkey = packet._flow_key
+            if fkey is None:
+                fkey = flow_key_of(packet)
+    """)
+    _emit_allocate(blk, plan, depth + 2)
+    blk(depth + 2, f"""
+        vslots = record.slots
+        if len(vslots) == {plan['gate_count']}:
+            for vslot in vslots:
+                if vslot is not None:
+                    vslot.instance = None
+                    vslot.private = None
+                    vslot.filter_record = None
+        else:
+            record.slots = [None] * {plan['gate_count']}
+        record.key = fkey
+        record.created = now
+        record.last_used = now
+        record.packets = 0
+        record.bytes = 0
+        record.route = None
+        record.route_version = -1
+        record.ref = False
+        bidx = fold & mask
+        record.bucket = bidx
+        record.hash_next = None
+        headh = buckets[bidx]
+        if headh is None:
+            record.hash_prev = None
+            buckets[bidx] = record
+        else:
+            while headh.hash_next is not None:
+                headh = headh.hash_next
+            headh.hash_next = record
+            record.hash_prev = headh
+        record.lru_prev = None
+        headr = table._lru_head
+        record.lru_next = headr
+        if headr is not None:
+            headr.lru_prev = record
+        table._lru_head = record
+        if table._lru_tail is None:
+            table._lru_tail = record
+        table.active += 1
+        table.births += 1
+    """)
+    if plan["tm"]:
+        blk(depth + 2, """
+            size = packet._length
+            if size < 0:
+                size = packet.length
+            if size < tm_len:
+                tm_counts[size] += 1
+            else:
+                tm_hist.observe(size)
+        """)
+    blk(depth + 2, """
+        for _gname, _gi, _gstats, _gtable in (wp4 if sw == 32 else wp6):
+            aiu.filter_lookups += 1
+            _gstats[0] += 1
+            _gstats[1] += 1
+            frec = _gtable.lookup_fast(packet)
+            if frec is None:
+                continue
+            _gstats[2] += 1
+            fslot = record.slots[_gi]
+            if fslot is None:
+                fslot = record.slots[_gi] = GateSlot()
+            finst = frec.instance
+            fslot.instance = finst
+            fslot.filter_record = frec
+            frec.flows.add(record)
+            binder = getattr(finst, "on_flow_created", None)
+            if binder is not None:
+                binder(record, fslot)
+    """)
+    blk(depth + 1, f"""
+        packet._fix = record
+        if record.slots[{plan['first_gi']}] is None:
+            record.slots[{plan['first_gi']}] = GateSlot()
+    """)
+
+
+def _emit_allocate(blk, plan, depth):
+    """Inline ``FlowTable._allocate`` minus ``reinit`` (emitted by the
+    caller): pool pop, growing or reclaiming exactly as the scalar table
+    would."""
+    if not plan["bounded"]:
+        blk(depth, """
+            if not free:
+                table._grow_pool()
+            record = free.pop()
+        """)
+        return
+    blk(depth, """
+        if not free and table._allocated < MAXR:
+            table._grow_pool()
+        if free:
+            record = free.pop()
+        else:
+            victim = table._lru_tail
+            if victim is None:
+                table._reclaim()    # raises: cap below one flow
+    """)
+    if plan["clock"]:
+        blk(depth + 1, """
+            while victim.ref:
+                victim.ref = False
+                table._lru_touch(victim)
+                victim = table._lru_tail
+        """)
+    blk(depth + 1, """
+        on_remove = table.on_remove
+        if on_remove is not None:
+            on_remove(victim)
+        for vslot in victim.slots:
+            if vslot is not None and vslot.filter_record is not None:
+                vslot.filter_record.flows.discard(victim)
+        prevv = victim.hash_prev
+        nxtv = victim.hash_next
+        if prevv is not None:
+            prevv.hash_next = nxtv
+        else:
+            buckets[victim.bucket] = nxtv
+        if nxtv is not None:
+            nxtv.hash_prev = prevv
+        victim.hash_prev = victim.hash_next = None
+        prevv = victim.lru_prev
+        if prevv is not None:
+            prevv.lru_next = None
+        else:
+            table._lru_head = None
+        table._lru_tail = prevv
+        victim.lru_prev = None
+        table.active -= 1
+        table.evictions += 1
+        free.append(victim)
+        table.recycled += 1
+        record = free.pop()
+    """)
+
+
+def _emit_gate_call(blk, plan, depth, gate, gi, fault_lines):
+    """One gate's plugin invocation for one packet: the scalar gate
+    macro (``_gate_fast``) inlined, with interception only in the fused
+    shape.  ``fault_lines`` is the except-branch body.  Returns the
+    depth at which the caller must emit its verdict handling (it is
+    skipped when no call happened)."""
+    blk(depth, f"""
+        record = packet._fix
+        if record is None:
+            ginst, record = classify(packet, {gate!r}, now=now)
+            gslot = record.slots[{gi}]
+        else:
+            gslot = record.slots[{gi}]
+            ginst = gslot.instance if gslot is not None else None
+    """)
+    blk(depth, "if ginst is not None:")
+    d = depth + 1
+    if plan["fused"]:
+        blk(d, """
+            probe = False
+            call = True
+            if qmap:
+                dom = qget(ginst)
+                if dom is not None:
+                    action = dom.intercept(now)
+                    if action is None:
+                        probe = True
+                    elif action == BYPASS:
+                        call = False
+                        ginst = None
+                    else:
+                        call = False
+                        gdrop = True
+            if call:
+        """)
+        d += 1
+    ctx_lines = [f"ctx_{gi}.slot = gslot", f"ctx_{gi}.flow = record"]
+    if gate == GATE_PACKET_SCHEDULING:
+        ctx_lines.append(f"ctx_{gi}.out_interface = oif")
+    blk(d, "\n".join(ctx_lines))
+    blk(d, "try:")
+    blk(d + 1, f"verdict = ginst.process(packet, ctx_{gi})")
+    blk(d, "except Exception as exc:")
+    blk(d + 1, fault_lines)
+    if plan["fused"]:
+        blk(d, """
+            else:
+                if probe:
+                    probe_ok(ginst, now)
+        """)
+    return d
+
+
+def _emit_tail(blk, plan, depth, idx, shape):
+    """The per-packet tail: multicast/local/TTL demux, route, output.
+    ``shape`` picks the fault handling: 'fused' maps verdicts inline,
+    'lanes' and 'single' return through the split helpers."""
+    # -- demux ---------------------------------------------------------
+    blk(depth, f"""
+        dst_a = packet.dst
+        if ((dst_a.value >> 28) == 14 if dst_a.width == 32
+                else (dst_a.value >> 120) == 255):
+            out[{idx}] = router._multicast_forward(packet, now, NULL)
+            continue
+    """)
+    if plan["local"]:
+        blk(depth, f"""
+            if dst_a in local_addrs:
+                out[{idx}] = router._deliver_local(packet, now)
+                continue
+        """)
+    blk(depth, f"""
+        if packet.ttl <= 1:
+            counters[DTTL] += 1
+            router._send_icmp(TEXC(packet, router._icmp_source(packet)), now)
+            out[{idx}] = DTTL
+            continue
+    """)
+    # -- route ---------------------------------------------------------
+    memo = """
+        rv = rtable.version
+        if record.route_version == rv and record.route is not None:
+            route = record.route
+        else:
+            route = rlookup(packet.dst)
+            if route is not None:
+                record.route = route
+                record.route_version = rv
+    """
+    if plan["has_routing"] and plan["routing_active"]:
+        rgi = plan["routing_gi"]
+        if plan["tm"]:
+            blk(depth, f"cells[{rgi}] += 1")
+        blk(depth, "gdrop = False")
+        if shape == "fused":
+            fault = "verdict = on_fault(ginst, RGATE, exc, packet, now)"
+        elif shape == "lanes":
+            fault = (
+                "return _split_routing(router, exc, ginst, lane_p, lane_i,\n"
+                f"                      j, now, out, {len(plan['pre'])})"
+            )
+        else:
+            fault = (
+                "return _split_single_routing(router, exc, ginst, packets,\n"
+                "                             i, now, out)"
+            )
+        d = _emit_gate_call(blk, plan, depth, GATE_ROUTING, rgi, fault)
+        blk(d, """
+            if verdict == DROPV:
+                gdrop = True
+        """)
+        blk(depth, """
+            if gdrop:
+                route = None
+            else:
+                route = packet.annotations.get("route")
+                if route is None:
+                    record = packet._fix
+                    if record is not None:
+        """)
+        blk(depth + 3, memo)
+        blk(depth + 2, """
+            else:
+                route = rlookup(packet.dst)
+        """)
+    elif plan["has_routing"]:
+        blk(depth, """
+            record = packet._fix
+            if record is None:
+                classify(packet, RGATE, now=now)
+                record = packet._fix
+        """)
+        blk(depth, memo)
+    else:
+        blk(depth, """
+            record = packet._fix
+            if record is not None:
+        """)
+        blk(depth + 1, memo)
+        blk(depth, """
+            else:
+                route = rlookup(packet.dst)
+        """)
+    blk(depth, f"""
+        if route is None:
+            counters[DNR] += 1
+            router._send_icmp(DUNR(packet, router._icmp_source(packet)), now)
+            out[{idx}] = DNR
+            continue
+        packet.ttl -= 1
+        oif = route.interface
+        iface = ifget(oif)
+        if iface is None:
+            counters[DNR] += 1
+            out[{idx}] = DNR
+            continue
+        size = packet._length
+        if size < 0:
+            size = packet.length
+        if size > iface.mtu:
+            out[{idx}] = router._output(packet, oif, now, NULL)
+            continue
+    """)
+    # -- scheduling gate / bound scheduler -----------------------------
+    blk(depth, "ginst = None")
+    if plan["has_sched"]:
+        sgi = plan["sched_gi"]
+        if shape == "fused":
+            fault = "verdict = on_fault(ginst, SGATE, exc, packet, now)"
+        elif shape == "lanes":
+            fault = (
+                "return _split_tail(router, exc, ginst, oif, iface, lane_p,\n"
+                f"                   lane_i, j, now, out, {len(plan['pre'])})"
+            )
+        else:
+            fault = (
+                "return _split_single_sched(router, exc, ginst, oif, iface,\n"
+                "                           packets, i, now, out)"
+            )
+        d = depth
+        if not plan["sched_active"]:
+            # Plan-inactive sched gate still runs for packets whose FIX
+            # was cleared mid-walk (a transform), as the scalar path does.
+            blk(depth, "if packet._fix is None:")
+            d = depth + 1
+        blk(d, "gdrop = False")
+        if plan["tm"]:
+            blk(d, f"cells[{sgi}] += 1")
+        dd = _emit_gate_call(blk, plan, d, GATE_PACKET_SCHEDULING, sgi, fault)
+        blk(dd, f"""
+            if verdict == DROPV:
+                gdrop = True
+            elif verdict == CONSV:
+                schedulers.setdefault(oif, ginst)
+                router._kick(oif, now)
+                counters[QUED] += 1
+                out[{idx}] = QUED
+                continue
+        """)
+        blk(d, f"""
+            if gdrop:
+                counters[DBP] += 1
+                out[{idx}] = DBP
+                continue
+        """)
+    blk(depth, f"""
+        if ginst is None and schedulers:
+            sched = schedulers.get(oif)
+            if sched is not None:
+                verdict = router._scheduler_process(sched, packet, oif, now, NULL)
+                if verdict == CONSV:
+                    router._kick(oif, now)
+                    counters[QUED] += 1
+                    out[{idx}] = QUED
+                    continue
+                if verdict == DROPV:
+                    counters[DBP] += 1
+                    out[{idx}] = DBP
+                    continue
+    """)
+    # -- emit ----------------------------------------------------------
+    if plan["plain"]:
+        blk(depth, """
+            nf = iface._next_free
+            if nf < now:
+                nf = now
+            done = nf + size * 8 / iface.rate_bps
+            iface._next_free = done
+            iface.tx_packets += 1
+            iface.tx_bytes += size
+            packet.departure_time = done
+            link = iface.link
+            if link is not None:
+                link.carry(iface, packet, done)
+        """)
+    else:
+        blk(depth, "iface.output(packet, now)")
+    blk(depth, "fwd += 1")
+
+
+def _emit_single(blk, plan):
+    """Single-pass shapes: plain (no active pre gates) and fused (pre
+    gates inlined per packet with interception)."""
+    shape = "fused" if plan["fused"] else "single"
+    blk(2, "for i, packet in enumerate(packets):")
+    _emit_classify(blk, plan, 3)
+    for gate, gi in plan["pre"]:
+        # Only the fused shape reaches here with pre gates (the plain
+        # single shape is selected when the active-pre plan is empty).
+        if plan["tm"]:
+            blk(3, f"cells[{gi}] += 1")
+        blk(3, "gdrop = False")
+        fault = f"verdict = on_fault(ginst, {gate!r}, exc, packet, now)"
+        d = _emit_gate_call(blk, plan, 3, gate, gi, fault)
+        blk(d, """
+            if verdict == DROPV:
+                gdrop = True
+            elif verdict == CONSV:
+                counters[CONSD] += 1
+                out[i] = CONSD
+                continue
+        """)
+        blk(3, """
+            if gdrop:
+                counters[DBP] += 1
+                out[i] = DBP
+                continue
+        """)
+    _emit_tail(blk, plan, 3, "i", shape)
+
+
+def _emit_lanes(blk, plan):
+    """The staged shape: classify the whole batch into lanes, sweep each
+    active pre gate over the surviving lane, then the per-packet tail."""
+    blk(2, """
+        lane_p = []
+        lane_i = []
+        lpa = lane_p.append
+        lia = lane_i.append
+        for i, packet in enumerate(packets):
+    """)
+    _emit_classify(blk, plan, 3)
+    blk(3, """
+        lpa(packet)
+        lia(i)
+    """)
+    for pos, (gate, gi) in enumerate(plan["pre"]):
+        blk(2, f"""
+            # --- gate sweep: {gate} ---
+            lane_n = len(lane_p)
+            if lane_n:
+        """)
+        if plan["tm"]:
+            blk(3, f"cells[{gi}] += lane_n")
+        blk(3, """
+            live = None
+            pruned = 0
+            for j, packet in enumerate(lane_p):
+        """)
+        fault = (
+            f"return _split_gate(router, exc, ginst, {gate!r}, {pos}, {gi},\n"
+            "                   lane_p, lane_i, live, j, now, out,\n"
+            + ("                   cells)" if plan["tm"]
+               else "                   None)")
+        )
+        d = _emit_gate_call(blk, plan, 4, gate, gi, fault)
+        blk(d, """
+            if verdict == DROPV:
+                if live is None:
+                    live = [True] * lane_n
+                live[j] = False
+                pruned += 1
+                counters[DBP] += 1
+                out[lane_i[j]] = DBP
+            elif verdict == CONSV:
+                if live is None:
+                    live = [True] * lane_n
+                live[j] = False
+                pruned += 1
+                counters[CONSD] += 1
+                out[lane_i[j]] = CONSD
+        """)
+        blk(3, """
+            if pruned:
+                keep_p = []
+                keep_i = []
+                for j, ok in enumerate(live):
+                    if ok:
+                        keep_p.append(lane_p[j])
+                        keep_i.append(lane_i[j])
+                lane_p = keep_p
+                lane_i = keep_i
+        """)
+    blk(2, """
+        # --- per-packet tail: demux, route, emit ---
+        for j, packet in enumerate(lane_p):
+            idx = lane_i[j]
+    """)
+    _emit_tail(blk, plan, 3, "idx", "lanes")

@@ -73,6 +73,7 @@ class Router:
         loop: Optional[EventLoop] = None,
         use_flow_cache: bool = True,
         send_icmp_errors: bool = True,
+        flow_eviction: str = "lru",
     ):
         self.name = name
         self.gates: Tuple[str, ...] = tuple(gates)
@@ -83,6 +84,7 @@ class Router:
             flow_buckets=flow_buckets,
             max_records=max_flows,
             use_flow_cache=use_flow_cache,
+            evict_policy=flow_eviction,
         )
         self.pcu = PluginControlUnit(aiu=self.aiu, router=self)
         self.routing_table = RoutingTable(
@@ -145,6 +147,10 @@ class Router:
         # Pooled per-gate contexts for receive_batch (reused between
         # packets; see PluginContext's contract).
         self._ctx_pool: Dict[str, PluginContext] = {}
+        # Per-plan compiled batch loops (repro.core.batch), keyed by the
+        # specialization tuple; invalidated implicitly because the key
+        # embeds ``plan_epoch``.
+        self._batch_loops: Dict[tuple, Callable] = {}
 
     # ------------------------------------------------------------------
     # Topology / configuration
@@ -240,13 +246,18 @@ class Router:
     def receive_batch(
         self, packets: Sequence[Packet], now: float = 0.0, cycles=NULL_METER
     ) -> List[str]:
-        """Run a batch of packets; returns one disposition per packet.
+        """Run a batch of packets run-to-completion; one disposition each.
 
         Semantically identical to calling :meth:`receive` in sequence
-        (property-tested), but the invariant lookups — tracer check,
-        active-gate plan, context setup — are hoisted out of the
-        per-packet loop and one :class:`PluginContext` per gate is pooled
-        and reused across the batch.
+        (property-tested), but executed as a true batch pipeline: one
+        plan/epoch check for the whole batch, then a per-plan *compiled
+        batch loop* (repro.core.batch) that partitions the batch into
+        cached-hit and miss lanes, runs each active gate once over the
+        batch with pooled contexts, and emits through the interfaces
+        with the invariant loads hoisted into a per-batch prologue.
+        Configurations the compiler does not specialize (flow cache off,
+        IPv6 flow-label hashing, no pre-routing gate) fall back to the
+        scalar fast path per packet.
         """
         if (
             cycles is not NULL_METER
@@ -256,11 +267,18 @@ class Router:
             # Per-packet receive() so lifecycle sampling sees each packet
             # (non-sampled ones still take the fast path inside).
             return [self.receive(p, now=now, cycles=cycles) for p in packets]
+        if not packets:
+            return []
         self._refresh_plan()
         # Pre-warm the compiled classifier tables so flow misses inside
         # the batch pay dict probes, not compile latency (epoch compare
         # per table when nothing changed).
         self.aiu.ensure_compiled()
+        from .batch import loop_for
+
+        loop = loop_for(self)
+        if loop is not None:
+            return loop(self, packets, now)
         fast = self._receive_fast
         pool = self._ctx_pool
         return [fast(packet, now, pool) for packet in packets]
@@ -288,7 +306,13 @@ class Router:
 
     def _receive_fast(self, packet: Packet, now: float, ctx_pool) -> str:
         self.counters["rx"] += 1
+        return self._resume_fast(packet, now, ctx_pool)
 
+    def _resume_fast(self, packet: Packet, now: float, ctx_pool) -> str:
+        """The fast path minus the ``rx`` count: classify anchor plus the
+        full gate walk.  The compiled batch loops (repro.core.batch) land
+        here when a mid-batch fault splits a batch — ``rx`` was already
+        counted once for the whole batch."""
         # Classification is anchored where the metered path performs it:
         # the first gate the packet encounters.  Gates with no filters
         # are then skipped entirely — their modelled GATE_CHECK/FIX
@@ -296,9 +320,27 @@ class Router:
         # charged for every configured gate.
         if packet._fix is None and self._first_pre_gate is not None:
             self.aiu.classify(packet, self._first_pre_gate, now=now)
-        for gate, gate_index in self._plan_pre_active:
+        return self._walk_fast(packet, 0, now, ctx_pool)
+
+    def _walk_fast(
+        self, packet: Packet, gate_pos: int, now: float, ctx_pool,
+        intercept: bool = True,
+    ) -> str:
+        """Classify-complete continuation of the fast path: the active
+        pre-routing gates from plan position ``gate_pos`` on, then the
+        tail (multicast/local/TTL demux, route, output).
+
+        ``intercept=False`` suppresses quarantine interception for
+        packets whose remaining plugin calls logically *precede* the
+        fault that tripped the quarantine — the batch splitter uses it
+        to keep resumed packets scalar-identical.
+        """
+        plan = self._plan_pre_active
+        if gate_pos:
+            plan = plan[gate_pos:]
+        for gate, gate_index in plan:
             verdict, _instance = self._gate_fast(
-                packet, gate, gate_index, now, None, ctx_pool
+                packet, gate, gate_index, now, None, ctx_pool, intercept
             )
             if verdict == Verdict.DROP:
                 self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
@@ -316,7 +358,7 @@ class Router:
             self._send_icmp(time_exceeded(packet, self._icmp_source(packet)), now)
             return Disposition.DROPPED_TTL
 
-        route = self._route_fast(packet, now, ctx_pool)
+        route = self._route_fast(packet, now, ctx_pool, intercept)
         if route is None:
             self.counters[Disposition.DROPPED_NO_ROUTE] += 1
             self._send_icmp(
@@ -325,7 +367,7 @@ class Router:
             return Disposition.DROPPED_NO_ROUTE
 
         packet.ttl -= 1
-        return self._output_fast(packet, route.interface, now, ctx_pool)
+        return self._output_fast(packet, route.interface, now, ctx_pool, intercept)
 
     def _gate_fast(
         self,
@@ -335,6 +377,7 @@ class Router:
         now: float,
         oif: Optional[str],
         ctx_pool,
+        intercept: bool = True,
     ) -> Tuple[str, Optional[object]]:
         """The gate macro without meters: FIX fetch, indirect call."""
         cells = self._tm_gate_cells
@@ -349,7 +392,7 @@ class Router:
         if instance is None:
             return Verdict.CONTINUE, None
         probe = False
-        if self._quarantined:
+        if intercept and self._quarantined:
             action, probe = self._intercept(instance, now)
             if action is not None:
                 if action == DEGRADE_BYPASS:
@@ -395,12 +438,14 @@ class Router:
             return None, True
         return action, False
 
-    def _route_fast(self, packet: Packet, now: float, ctx_pool) -> Optional[Route]:
+    def _route_fast(
+        self, packet: Packet, now: float, ctx_pool, intercept: bool = True
+    ) -> Optional[Route]:
         if self._has_routing_gate:
             if self._plan_routing_active:
                 verdict, _ = self._gate_fast(
                     packet, GATE_ROUTING, self._gate_indices[GATE_ROUTING],
-                    now, None, ctx_pool,
+                    now, None, ctx_pool, intercept,
                 )
                 if verdict == Verdict.DROP:
                     return None
@@ -425,7 +470,10 @@ class Router:
             return route
         return table.lookup_fast(packet.dst)
 
-    def _output_fast(self, packet: Packet, oif: str, now: float, ctx_pool) -> str:
+    def _output_fast(
+        self, packet: Packet, oif: str, now: float, ctx_pool,
+        intercept: bool = True,
+    ) -> str:
         iface = self.interfaces.get(oif)
         if iface is None:
             self.counters[Disposition.DROPPED_NO_ROUTE] += 1
@@ -447,6 +495,7 @@ class Router:
                     now,
                     oif,
                     ctx_pool,
+                    intercept,
                 )
                 if verdict == Verdict.DROP:
                     self.counters[Disposition.DROPPED_BY_PLUGIN] += 1
@@ -460,7 +509,7 @@ class Router:
                 scheduler = self._schedulers[oif]
                 if scheduler is not None:
                     verdict = self._scheduler_process(
-                        scheduler, packet, oif, now, NULL_METER
+                        scheduler, packet, oif, now, NULL_METER, intercept
                     )
                     if verdict == Verdict.CONSUMED:
                         self._kick(oif, now)
@@ -685,14 +734,15 @@ class Router:
         return verdict, instance
 
     def _scheduler_process(
-        self, scheduler, packet: Packet, oif: str, now: float, cycles
+        self, scheduler, packet: Packet, oif: str, now: float, cycles,
+        intercept: bool = True,
     ) -> Optional[str]:
         """Run a bound per-interface scheduler's ``process`` under fault
         containment; identical on the fast and metered paths.  Returns
         the verdict, or ``None`` when quarantine bypass says to skip the
         scheduler and output the packet directly."""
         probe = False
-        if self._quarantined:
+        if intercept and self._quarantined:
             action, probe = self._intercept(scheduler, now)
             if action is not None:
                 if action == DEGRADE_BYPASS:

@@ -53,7 +53,7 @@ class IGMPDaemon:
     # ------------------------------------------------------------------
     def _on_packet(self, packet: Packet, router: Router, now: float) -> None:
         try:
-            message = json.loads(packet.payload.decode("utf-8"))
+            message = json.loads(bytes(packet.payload).decode("utf-8"))
             op = message["op"]
             group = IPAddress.parse(message["group"])
         except (ValueError, KeyError, TypeError, UnicodeDecodeError):

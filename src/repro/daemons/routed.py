@@ -105,7 +105,7 @@ class RouteDaemon:
             return  # not for us
         self.updates_received += 1
         try:
-            message = json.loads(packet.payload.decode("utf-8"))
+            message = json.loads(bytes(packet.payload).decode("utf-8"))
             routes = message["routes"] if message.get("op") == "update" else []
             entries = [(e["prefix"], int(e["metric"])) for e in routes]
         except (ValueError, KeyError, TypeError, UnicodeDecodeError):

@@ -92,7 +92,7 @@ class RSVPDaemon:
     # ------------------------------------------------------------------
     def _on_packet(self, packet: Packet, router: Router, now: float) -> None:
         try:
-            message = json.loads(packet.payload.decode("utf-8"))
+            message = json.loads(bytes(packet.payload).decode("utf-8"))
             op = message["op"]
         except (ValueError, KeyError, TypeError, UnicodeDecodeError):
             self.malformed += 1

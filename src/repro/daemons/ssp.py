@@ -108,7 +108,7 @@ class SSPDaemon:
     def _on_packet(self, packet: Packet, router: Router, now: float) -> None:
         self.messages_seen += 1
         try:
-            message = json.loads(packet.payload.decode("utf-8"))
+            message = json.loads(bytes(packet.payload).decode("utf-8"))
             if not isinstance(message, dict) or "op" not in message:
                 raise ValueError("not an SSP message")
         except (ValueError, UnicodeDecodeError):

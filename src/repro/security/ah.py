@@ -23,7 +23,7 @@ def _authenticated_bytes(packet: Packet, next_header: int, payload: bytes) -> by
         packet.src.to_bytes()
         + packet.dst.to_bytes()
         + struct.pack("!BBHH", next_header, 0, packet.src_port, packet.dst_port)
-        + payload
+        + bytes(payload)    # may be a zero-copy memoryview (Packet.parse)
     )
 
 
@@ -51,7 +51,7 @@ class AhOutboundInstance(PluginInstance):
             icv=self.sa.icv(icv_input),
         )
         packet.annotations["ah_inner_protocol"] = inner_proto
-        packet.payload = header.serialize() + packet.payload
+        packet.payload = header.serialize() + bytes(packet.payload)
         packet.protocol = PROTO_AH
         packet.fix = None  # the transformed packet is a different flow
         return Verdict.CONTINUE

@@ -170,6 +170,55 @@ class RegistryMetricsInstance(PluginInstance):
         return Verdict.CONTINUE
 
 
+class PerPacketRecomputeInstance(PluginInstance):
+    """Recomputes a config-derived bound for every packet of the batch —
+    exactly the work the batch hooks exist to hoist."""
+
+    def process(self, packet, ctx):
+        return Verdict.CONTINUE
+
+    def process_batch(self, packets, now):
+        for packet in packets:
+            limit = self.config.get("limit", 100)
+            if packet.length > limit:
+                packet.annotations["over"] = True
+
+
+class EnumeratedRecomputeInstance(PluginInstance):
+    def process(self, packet, ctx):
+        return Verdict.CONTINUE
+
+    def on_batch_end(self, packets, now):
+        for i, packet in enumerate(packets):
+            tag = self.plugin.name.upper()
+            packet.annotations["tag"] = (tag, i)
+
+
+class HoistedBatchInstance(PluginInstance):
+    """The idiomatic shape: invariants once per batch, only per-packet
+    work inside the loop."""
+
+    def process(self, packet, ctx):
+        return Verdict.CONTINUE
+
+    def process_batch(self, packets, now):
+        limit = self.config.get("limit", 100)
+        for packet in packets:
+            size = packet.length        # loop-variant: derived from the item
+            if size > limit:
+                packet.annotations["over"] = True
+
+
+class SuppressedBatchInstance(PluginInstance):
+    def process(self, packet, ctx):
+        return Verdict.CONTINUE
+
+    def process_batch(self, packets, now):
+        for packet in packets:
+            limit = self.config.get("limit", 100)  # rp: ignore[RP208]
+            packet.annotations["limit"] = limit
+
+
 @pytest.mark.parametrize(
     "instance_cls,expected",
     [
@@ -183,6 +232,8 @@ class RegistryMetricsInstance(PluginInstance):
         (BroadExceptInstance, "RP206"),
         (AdHocMetricsInstance, "RP207"),
         (AdHocCounterAugInstance, "RP207"),
+        (PerPacketRecomputeInstance, "RP208"),
+        (EnumeratedRecomputeInstance, "RP208"),
     ],
 )
 def test_bad_pattern_is_flagged(instance_cls, expected):
@@ -197,6 +248,7 @@ def test_bad_pattern_is_flagged(instance_cls, expected):
         ChargedTouchInstance,
         HelperChargedInstance,
         RegistryMetricsInstance,
+        HoistedBatchInstance,
     ],
 )
 def test_good_pattern_is_clean(instance_cls):
@@ -207,6 +259,11 @@ def test_good_pattern_is_clean(instance_cls):
 def test_suppression_comment_silences_the_named_code():
     plugin_cls = _make_plugin(SuppressedInstance, "suppressed")
     assert "RP205" not in _codes(plugin_cls)
+
+
+def test_batch_suppression_comment_silences_rp208():
+    plugin_cls = _make_plugin(SuppressedBatchInstance, "suppressed-batch")
+    assert "RP208" not in _codes(plugin_cls)
 
 
 def test_diagnostics_carry_location_and_hint():

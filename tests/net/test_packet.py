@@ -12,7 +12,7 @@ from repro.net.headers import (
     PROTO_TCP,
     PROTO_UDP,
 )
-from repro.net.packet import Packet, make_tcp, make_udp
+from repro.net.packet import PARSE_STATS, Packet, make_tcp, make_udp
 
 
 class TestConstruction:
@@ -141,3 +141,41 @@ def test_wire_roundtrip_property(sport, dport, size, proto, v6):
     parsed = Packet.parse(pkt.serialize())
     assert parsed.five_tuple() == pkt.five_tuple()
     assert len(parsed.payload) == size
+
+
+class TestFiveTupleCache:
+    """The cache contract: one five-tuple fold per packet lifetime."""
+
+    def test_fold_computed_exactly_once(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 5000, 53)
+        before = PARSE_STATS.tuple_derivations
+        first = pkt.flow_fold32()
+        assert PARSE_STATS.tuple_derivations == before + 1
+        assert pkt.flow_fold32() == first
+        assert PARSE_STATS.tuple_derivations == before + 1
+
+    def test_clearing_fix_drops_the_fold(self):
+        pkt = make_udp("10.0.0.1", "10.0.0.2", 5000, 53)
+        pkt.flow_fold32()
+        before = PARSE_STATS.tuple_derivations
+        pkt.fix = None    # "different flow now" signal
+        pkt.flow_fold32()
+        assert PARSE_STATS.tuple_derivations == before + 1
+
+    def test_parse_warms_fold_and_length(self):
+        wire = make_udp("10.0.0.1", "10.0.0.2", 5000, 53, payload_size=64).serialize()
+        before = PARSE_STATS.tuple_derivations
+        pkt = Packet.parse(wire, iif="atm0")
+        assert PARSE_STATS.tuple_derivations == before + 1
+        # Both caches are warm: further reads derive nothing.
+        pkt.flow_fold32()
+        assert pkt.length == len(wire)
+        assert PARSE_STATS.tuple_derivations == before + 1
+
+    def test_parse_payload_is_a_zero_copy_view(self):
+        original = make_udp("10.0.0.1", "10.0.0.2", 5000, 53, payload_size=64)
+        pkt = Packet.parse(original.serialize())
+        assert isinstance(pkt.payload, memoryview)
+        assert bytes(pkt.payload) == bytes(original.payload)
+        # Serialization converts at the edge and round-trips.
+        assert Packet.parse(pkt.serialize()).five_tuple() == pkt.five_tuple()
