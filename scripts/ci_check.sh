@@ -12,7 +12,9 @@
 # runs the tier-1 suite (including the cost-model invariance tests),
 # the throughput benchmark, and the slow-path regression floor;
 # chaos_check.sh runs the seeded fault-injection soak and the
-# fault-containment suites.  Exits non-zero if any gate fails.
+# fault-containment suites; the attack gate runs the seeded
+# adversarial-workload soaks against the overload governor.  Exits
+# non-zero if any gate fails.
 
 set -eu
 
@@ -56,6 +58,7 @@ create drr drr0
 bind drr0 - 10.*, *, UDP
 telemetry on
 trace on sample=1 capacity=16
+overload on sample_interval=8
 """)
 for i in range(32):
     router.receive(make_udp(f"10.0.0.{i % 4 + 1}", "20.0.0.1", 1000 + i, 9000, iif="atm0"))
@@ -73,5 +76,13 @@ sh scripts/bench_check.sh "$@"
 
 echo "==== robustness gate (scripts/chaos_check.sh) ===="
 sh scripts/chaos_check.sh
+
+echo "==== attack gate (seeded adversarial soak) ===="
+# Overload protection under seeded attack scenarios (docs/ROBUSTNESS.md):
+# bounded occupancy, >= 90% established-flow retention through a SYN
+# flood / cache thrash, recovery to NORMAL, governor bit-invisible on
+# healthy traffic — plus the flow-table occupancy bound property test.
+PYTHONPATH=src python -m pytest -q -m attack tests/sim/test_attack_soak.py
+PYTHONPATH=src python -m pytest -q tests/aiu/test_flow_table_bounds.py
 
 echo "==== ci_check: all gates passed ===="

@@ -19,6 +19,7 @@ from .aiu import AIU, Filter, FlowTable, PortSpec
 from .core import (
     DEFAULT_GATES,
     Disposition,
+    OverloadGovernor,
     Plugin,
     PluginContext,
     PluginControlUnit,
@@ -56,6 +57,7 @@ __all__ = [
     "PortSpec",
     "DEFAULT_GATES",
     "Disposition",
+    "OverloadGovernor",
     "Plugin",
     "PluginContext",
     "PluginControlUnit",

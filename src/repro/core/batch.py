@@ -243,6 +243,12 @@ def loop_for(router) -> Optional[Callable]:
         or router._first_pre_gate is None
     ):
         return None
+    gov = router._overload
+    if gov is not None and gov.degraded:
+        # Degraded overload tiers run the scalar walk — the admission /
+        # cache-bypass seam lives in Router.receive().  receive_batch
+        # already routes around the loops; this guards direct callers.
+        return None
     bounded = table.max_records is not None
     # Bounded tables interleave evictions with packet processing and a
     # live quarantine intercepts every plugin call — both must stay in

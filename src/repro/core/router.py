@@ -56,6 +56,7 @@ class Disposition:
     DROPPED_BY_PLUGIN = "dropped_by_plugin"
     DROPPED_LOCAL_PROTO = "dropped_local_proto"
     DROPPED_TOO_BIG = "dropped_too_big"
+    DROPPED_OVERLOAD = "dropped_overload"  # shed by the overload governor
     CONSUMED = "consumed"        # taken over entirely by a plugin
 
 
@@ -123,6 +124,11 @@ class Router:
         self.telemetry = None
         self._tm_gate_cells = None
         self._lifecycle = None
+        # --- Overload protection (docs/ROBUSTNESS.md) ---------------
+        # The attached OverloadGovernor, or None.  Same hot-path idiom
+        # as telemetry: one attribute load + None test per packet when
+        # detached; when attached and NORMAL, one countdown decrement.
+        self._overload = None
         # --- Fast-path plan (docs/PERFORMANCE.md) -------------------
         # Static gate geometry: the pre-routing gates in order, gate ->
         # slot index, and whether the special gates are configured.
@@ -232,6 +238,15 @@ class Router:
         produces identical dispositions, counters, and flow-table state
         (asserted by tests/perf/).
         """
+        gov = self._overload
+        if gov is not None:
+            gov.countdown -= 1
+            if gov.countdown <= 0:
+                gov.sample(now)
+            if gov.degraded:
+                disposition = self._admit_degraded(gov, packet, now)
+                if disposition is not None:
+                    return disposition
         if cycles is NULL_METER and self.tracer is None:
             lifecycle = self._lifecycle
             if lifecycle is not None and lifecycle.wants(packet):
@@ -269,6 +284,17 @@ class Router:
             return [self.receive(p, now=now, cycles=cycles) for p in packets]
         if not packets:
             return []
+        gov = self._overload
+        if gov is not None:
+            gov.countdown -= len(packets)
+            if gov.countdown <= 0:
+                gov.sample(now)
+            if gov.degraded:
+                # Degraded tiers take the scalar walk: the admission /
+                # cache-bypass seam lives in receive(), and the compiled
+                # loops are only ever entered at NORMAL (loop_for keys
+                # on the same predicate for direct callers).
+                return [self.receive(p, now=now) for p in packets]
         self._refresh_plan()
         # Pre-warm the compiled classifier tables so flow misses inside
         # the batch pay dict probes, not compile latency (epoch compare
@@ -303,6 +329,41 @@ class Router:
             self._has_sched_gate and counts[GATE_PACKET_SCHEDULING] > 0
         )
         self._plan_epoch = epoch
+
+    def _admit_degraded(self, gov, packet: Packet, now: float) -> Optional[str]:
+        """Overload admission control, only ever reached in a degraded
+        tier (docs/ROBUSTNESS.md "Overload protection").
+
+        Established flows are untouched: a flow-cache hit pins the FIX
+        on the packet and the normal walk proceeds (classification later
+        sees ``packet._fix`` set, exactly like any gate after the
+        first).  A miss is a new-flow birth and is metered by the
+        governor's per-interface token bucket: ADMIT installs a
+        FlowRecord as usual, BYPASS classifies the packet correctly but
+        recordless (the flood stops consuming table entries), and SHED
+        drops it before any gate runs.  Degraded-tier packets run with
+        the null meter even when the caller metered — degraded states
+        have no golden traces; the healthy path stays bit-identical.
+        """
+        aiu = self.aiu
+        if (
+            packet._fix is not None
+            or not aiu.use_flow_cache
+            or self._first_pre_gate is None
+        ):
+            return None
+        record = aiu.flow_table.lookup(packet, now=now)
+        if record is None:
+            action = gov.admit_new(packet, now)
+            if action == "shed":
+                self.counters["rx"] += 1
+                self.counters[Disposition.DROPPED_OVERLOAD] += 1
+                return Disposition.DROPPED_OVERLOAD
+            record = aiu._classify_uncached(
+                packet, NULL_METER, now, install=action == "admit"
+            )
+        packet.fix = record
+        return None
 
     def _receive_fast(self, packet: Packet, now: float, ctx_pool) -> str:
         self.counters["rx"] += 1
@@ -957,16 +1018,62 @@ class Router:
         self._lifecycle = None
 
     # ------------------------------------------------------------------
+    # Overload protection (docs/ROBUSTNESS.md) — control path only
+    # ------------------------------------------------------------------
+    def attach_overload_governor(self, governor=None, **config):
+        """Attach an :class:`~repro.core.overload.OverloadGovernor`
+        (created from ``config`` if ``None``).  At NORMAL tier the data
+        path is bit-identical with the governor attached or detached —
+        zero modelled cycles, identical dispositions and flow state
+        (golden-pinned); degraded tiers are where behavior may change
+        (admission control, cache-bypass classification, shedding)."""
+        if governor is None:
+            from .overload import OverloadGovernor
+
+            governor = OverloadGovernor(**config)
+        governor.bind_router(self)
+        self._overload = governor
+        return governor
+
+    def detach_overload_governor(self) -> None:
+        """Remove the governor: the seam returns to one ``None`` test."""
+        self._overload = None
+
+    # ------------------------------------------------------------------
     # Health / fault introspection
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        """Operational snapshot: counters, live quarantines, and every
-        plugin fault domain (state, policy, totals, last fault)."""
+        """Operational snapshot: counters, live quarantines, every
+        plugin fault domain (state, policy, totals, last fault), plus
+        data-path pressure — flow-table occupancy, eviction counters,
+        and the overload governor's tier."""
+        table = self.aiu.flow_table
+        gov = self._overload
         return {
             "router": self.name,
             "counters": dict(self.counters),
             "quarantined": sorted({d.plugin for d in self._quarantined.values()}),
             "plugins": self.faults.health(),
+            "flow_table": {
+                "active": table.active,
+                "allocated": table.allocated,
+                "max_records": table.max_records,
+                "occupancy": (
+                    table.active / table.max_records
+                    if table.max_records
+                    else None
+                ),
+                "births": table.births,
+                "evictions": table.evictions,
+                "recycled": table.recycled,
+                "hits": table.hits,
+                "misses": table.misses,
+            },
+            "overload": (
+                {"enabled": False, "tier": "normal"}
+                if gov is None
+                else gov.brief()
+            ),
         }
 
     def measure_packet(self, packet: Packet, now: float = 0.0) -> CycleMeter:

@@ -15,7 +15,7 @@ from ..core.faults import render_fault
 #: Topics ``query``/``show`` understand, in help order.
 TOPICS = (
     "plugins", "filters", "flows", "aiu", "faults", "health",
-    "telemetry", "trace",
+    "telemetry", "trace", "overload",
 )
 
 
@@ -107,6 +107,35 @@ def _render_trace(data: dict) -> List[str]:
     return lines
 
 
+def _render_overload(data: dict) -> List[str]:
+    if not data.get("enabled"):
+        return ["overload governor disabled (pmgr: overload on [key=value...])"]
+    window = data["window"]
+    counters = data["counters"]
+    occupancy = window["occupancy"]
+    lines = [
+        f"tier: {data['tier']}",
+        "window: "
+        f"packets={window['packets']} "
+        f"miss_ratio={window['miss_ratio']:.3f} "
+        f"evict_frac={window['evict_frac']:.3f} "
+        f"occupancy={'-' if occupancy is None else f'{occupancy:.3f}'}",
+        "admission: "
+        f"admitted={counters['admitted']} bypassed={counters['bypassed']} "
+        f"shed={counters['shed']}",
+        "ladder: "
+        f"escalations={counters['escalations']} "
+        f"deescalations={counters['deescalations']} "
+        f"samples={counters['samples']}",
+    ]
+    for t in data["transitions"]:
+        lines.append(
+            f"  t={t['time']:g} {t['from']} -> {t['to']} ({t['reason']}, "
+            f"miss={t['miss_ratio']} evict={t['evict_frac']})"
+        )
+    return lines
+
+
 _RENDERERS: Dict[str, Callable[[dict], List[str]]] = {
     "plugins": _render_plugins,
     "filters": _render_filters,
@@ -116,6 +145,7 @@ _RENDERERS: Dict[str, Callable[[dict], List[str]]] = {
     "health": _render_health,
     "telemetry": _render_telemetry,
     "trace": _render_trace,
+    "overload": _render_overload,
 }
 
 

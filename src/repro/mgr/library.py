@@ -183,6 +183,20 @@ class RouterPluginLibrary:
     def disable_telemetry(self) -> None:
         self.router.detach_telemetry()
 
+    # ------------------------------------------------------------------
+    # Overload protection (docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def enable_overload(self, **config):
+        """Attach an overload governor; ``config`` keywords are the
+        :class:`~repro.core.overload.OverloadGovernor` thresholds."""
+        try:
+            return self.router.attach_overload_governor(**config)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad overload config: {exc}") from exc
+
+    def disable_overload(self) -> None:
+        self.router.detach_overload_governor()
+
     def start_trace(self, sample: int = 1, capacity: int = 256):
         """Attach a packet-lifecycle tracer (1-in-``sample`` flows)."""
         try:
@@ -276,6 +290,12 @@ class RouterPluginLibrary:
         if registry is None:
             return {"enabled": False}
         return registry.snapshot()
+
+    def _query_overload(self) -> dict:
+        governor = self.router._overload
+        if governor is None:
+            return {"enabled": False}
+        return governor.snapshot()
 
     def _query_trace(self) -> dict:
         tracer = self.router._lifecycle

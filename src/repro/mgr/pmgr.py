@@ -24,7 +24,9 @@ Command language (one command per line; ``#`` comments allowed)::
     telemetry on|off|status                   # metrics registry (docs/OBSERVABILITY.md)
     trace on [sample=N] [capacity=N]          # packet-lifecycle tracer
     trace off
-    show plugins|filters|flows|aiu|faults|health|telemetry|trace [--json]
+    overload on [key=value...]                # overload governor thresholds
+    overload off|status                       # (docs/ROBUSTNESS.md)
+    show plugins|filters|flows|aiu|faults|health|telemetry|trace|overload [--json]
 
 Every ``show`` topic has a structured twin: ``show X --json`` prints the
 :meth:`RouterPluginLibrary.query` dict for the topic, and the plain-text
@@ -74,6 +76,7 @@ class PluginManager:
             "analyze": self._cmd_analyze,
             "telemetry": self._cmd_telemetry,
             "trace": self._cmd_trace,
+            "overload": self._cmd_overload,
             "show": self._cmd_show,
         }
         #: Errors collected by the last ``run_script(...,
@@ -268,6 +271,32 @@ class PluginManager:
         tracer = self.library.start_trace(**config)
         self._print(
             f"tracing enabled sample=1/{tracer.sample} capacity={tracer.capacity}"
+        )
+
+    def _cmd_overload(self, args: List[str]) -> None:
+        usage = "usage: overload on [key=value...] | overload off | overload status"
+        if not args or args[0] not in ("on", "off", "status"):
+            raise ConfigurationError(usage)
+        if args[0] == "off":
+            if len(args) != 1:
+                raise ConfigurationError(usage)
+            self.library.disable_overload()
+            self._print("overload governor disabled")
+            return
+        if args[0] == "status":
+            if len(args) != 1:
+                raise ConfigurationError(usage)
+            governor = self.router._overload
+            if governor is None:
+                self._print("overload governor disabled")
+            else:
+                self._print(f"overload governor enabled tier={governor.tier}")
+            return
+        config = dict(parse_config_value(token) for token in args[1:])
+        governor = self.library.enable_overload(**config)
+        self._print(
+            f"overload governor enabled tier={governor.tier} "
+            f"sample_interval={governor.sample_interval}"
         )
 
     def _cmd_show(self, args: List[str]) -> None:

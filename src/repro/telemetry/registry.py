@@ -274,6 +274,7 @@ class MetricsRegistry:
         self.add_collector(lambda: _collect_aiu(router.aiu))
         self.add_collector(lambda: _collect_schedulers(router))
         self.add_collector(lambda: _collect_faults(router))
+        self.add_collector(lambda: _collect_overload(router))
 
     # ------------------------------------------------------------------
     # Reading
@@ -376,6 +377,36 @@ def _collect_faults(router) -> dict:
         counters[f"faults.{name}.total"] = dom.total
         counters[f"faults.{name}.quarantines"] = dom.quarantine_count
     return {"counters": counters}
+
+
+def _collect_overload(router) -> dict:
+    """Overload-governor pull source (docs/ROBUSTNESS.md): absent from
+    the snapshot until a governor is attached, like every other
+    collector a pure control-path read."""
+    gov = router._overload
+    if gov is None:
+        return {}
+    from ..core.overload import TIERS
+
+    window = gov.window
+    gauges = {
+        "overload.tier": float(TIERS.index(gov.tier)),
+        "overload.miss_ratio": window["miss_ratio"],
+        "overload.evict_frac": window["evict_frac"],
+    }
+    if window["occupancy"] is not None:
+        gauges["overload.occupancy"] = window["occupancy"]
+    return {
+        "counters": {
+            "overload.samples": gov.samples,
+            "overload.admitted": gov.admitted,
+            "overload.bypassed": gov.bypassed,
+            "overload.shed": gov.shed_total,
+            "overload.escalations": gov.escalations,
+            "overload.deescalations": gov.deescalations,
+        },
+        "gauges": gauges,
+    }
 
 
 class _NullMetric:

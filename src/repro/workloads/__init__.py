@@ -1,5 +1,13 @@
-"""Synthetic workloads: flow-structured traffic and filter sets."""
+"""Synthetic workloads: flow-structured traffic, filter sets, and
+adversarial attack scenarios."""
 
+from .adversarial import (
+    ATTACKS,
+    AttackScenario,
+    run_scenario,
+    scenario,
+    scenario_names,
+)
 from .filtersets import (
     PORT_CATALOGUE,
     matching_probe,
@@ -11,14 +19,21 @@ from .flows import (
     FlowSpec,
     TimedPacket,
     bursty_arrivals,
+    heavy_tailed_train_lengths,
     pareto_on_off,
     poisson_arrivals,
     round_robin_trains,
     synthetic_flows,
     table3_flows,
+    zipf_flows,
 )
 
 __all__ = [
+    "ATTACKS",
+    "AttackScenario",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
     "PORT_CATALOGUE",
     "matching_probe",
     "random_filters",
@@ -26,11 +41,13 @@ __all__ = [
     "FlowSpec",
     "TimedPacket",
     "bursty_arrivals",
+    "heavy_tailed_train_lengths",
     "pareto_on_off",
     "poisson_arrivals",
     "round_robin_trains",
     "synthetic_flows",
     "table3_flows",
+    "zipf_flows",
     "PcapError",
     "iter_pcap",
     "read_pcap",

@@ -84,6 +84,71 @@ def synthetic_flows(
     return flows
 
 
+def zipf_flows(
+    count: int,
+    destinations: int = 64,
+    alpha: float = 1.0,
+    seed: int = 1,
+    dst_net: str = "20.0",
+    size: int = 1000,
+    iif: str = "atm0",
+) -> List[FlowSpec]:
+    """``count`` distinct flows whose destinations follow a Zipf
+    popularity law over ``destinations`` addresses — the flash-crowd
+    shape, where rank-1 ("the server everyone is hitting") receives
+    ``2**alpha`` times the flows of rank 2 and so on.  Sources and ports
+    are uniform random, so every flow is a distinct five-tuple."""
+    if count < 1 or destinations < 1:
+        raise ValueError("count and destinations must be >= 1")
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    rng = random.Random(seed)
+    pool = [
+        f"{dst_net}.{i // 250}.{i % 250 + 1}" for i in range(destinations)
+    ]
+    weights = [1.0 / (rank ** alpha) for rank in range(1, destinations + 1)]
+    flows: List[FlowSpec] = []
+    seen = set()
+    while len(flows) < count:
+        dst = rng.choices(pool, weights=weights)[0]
+        src = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        sport = rng.randrange(1024, 65536)
+        key = (src, sport, dst)
+        if key in seen:
+            continue
+        seen.add(key)
+        flows.append(
+            FlowSpec(src=src, dst=dst, src_port=sport, dst_port=9000, size=size, iif=iif)
+        )
+    return flows
+
+
+def heavy_tailed_train_lengths(
+    count: int,
+    shape: float = 1.2,
+    minimum: int = 1,
+    cap: int = 10_000,
+    seed: int = 1,
+) -> List[int]:
+    """Pareto-distributed packets-per-flow train lengths: most flows are
+    mice, a few elephants carry most of the packets — the heavy-tailed
+    flow-size distribution measured on real links.  ``cap`` bounds the
+    tail so a workload's total size stays finite and deterministic."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if shape <= 0:
+        raise ValueError("shape must be > 0")
+    if minimum < 1 or cap < minimum:
+        raise ValueError("need 1 <= minimum <= cap")
+    rng = random.Random(seed)
+    # 1 - random() lands in (0, 1]: the inverse-CDF draw can never hit a
+    # zero denominator.
+    return [
+        min(cap, int(minimum / ((1.0 - rng.random()) ** (1.0 / shape))))
+        for _ in range(count)
+    ]
+
+
 @dataclass
 class TimedPacket:
     """One scheduled arrival."""

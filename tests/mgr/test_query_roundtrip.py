@@ -32,6 +32,7 @@ def configured():
     bind fw0 ip_security 10.0.9.*, *, UDP
     telemetry on
     trace on sample=1 capacity=16
+    overload on sample_interval=8
     """)
     for i in range(24):
         router.receive(

@@ -66,6 +66,15 @@ def test_plugin_router_no_filters_cycles(golden):
     _assert_matches(router.measure_packet(_packet()), golden["plugin_empty"]["hit"])
 
 
+def test_governor_attached_is_golden_identical(golden):
+    """An attached (healthy) overload governor charges zero modelled
+    cycles: the metered path reproduces the seed goldens bit for bit."""
+    router = _two_iface_router("inv-governor")
+    router.attach_overload_governor()
+    _assert_matches(router.measure_packet(_packet()), golden["plugin_empty"]["miss"])
+    _assert_matches(router.measure_packet(_packet()), golden["plugin_empty"]["hit"])
+
+
 def test_plugin_router_three_gates_cycles(golden):
     """Table 3 row 2 shape: empty plugin bound at all three gates."""
     router = _two_iface_router("inv-gates3")

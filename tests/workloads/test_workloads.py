@@ -10,14 +10,18 @@ from repro.aiu.records import FilterRecord
 from repro.net.addresses import IPV6_WIDTH
 from repro.workloads import (
     bursty_arrivals,
+    heavy_tailed_train_lengths,
     matching_probe,
     pareto_on_off,
     poisson_arrivals,
     random_filters,
     round_robin_trains,
+    scenario,
+    scenario_names,
     synthetic_flows,
     table3_filters,
     table3_flows,
+    zipf_flows,
 )
 
 
@@ -79,6 +83,48 @@ class TestFlowGenerators:
         gaps = [b.time - a.time for a, b in zip(schedule, schedule[1:])]
         # On/off structure: some gaps are much longer than the on-rate gap.
         assert max(gaps) > 10 * min(g for g in gaps if g > 0)
+
+
+class TestAdversarialGenerators:
+    def test_zipf_flows_popularity_ordering(self):
+        """Destination popularity follows rank: the top destination
+        attracts more flows than the tail."""
+        flows = zipf_flows(300, destinations=16, alpha=1.1, seed=4)
+        by_dst = {}
+        for f in flows:
+            by_dst[f.dst] = by_dst.get(f.dst, 0) + 1
+        counts = sorted(by_dst.values(), reverse=True)
+        assert counts[0] > counts[-1]
+        assert counts[0] >= 300 / 16  # head is above uniform share
+
+    def test_zipf_flows_distinct_and_deterministic(self):
+        flows = zipf_flows(200, seed=9)
+        keys = {(f.src, f.src_port, f.dst) for f in flows}
+        assert len(keys) == 200
+        assert zipf_flows(200, seed=9) == flows
+        assert zipf_flows(200, seed=10) != flows
+
+    def test_heavy_tailed_train_lengths_bounds(self):
+        lengths = heavy_tailed_train_lengths(500, minimum=2, cap=100, seed=3)
+        assert len(lengths) == 500
+        assert all(2 <= n <= 100 for n in lengths)
+        # Heavy tail: some trains are much longer than the typical one.
+        lengths.sort()
+        assert lengths[-1] >= 5 * lengths[len(lengths) // 2]
+
+    def test_heavy_tailed_train_lengths_deterministic(self):
+        assert heavy_tailed_train_lengths(50, seed=7) == heavy_tailed_train_lengths(50, seed=7)
+
+    def test_scenario_registry(self):
+        names = scenario_names()
+        assert {"syn_flood", "cache_thrash", "flash_crowd", "filter_churn"} <= set(names)
+        sc = scenario("syn_flood", seed=3)
+        assert sc.warmup and sc.attack and sc.recovery
+        times = [t for t, _p, _a in sc.warmup + sc.attack + sc.recovery]
+        assert times == sorted(times)
+        assert any(is_attack for _t, _p, is_attack in sc.attack)
+        with pytest.raises(KeyError):
+            scenario("no_such_attack")
 
 
 class TestFilterSets:
