@@ -31,6 +31,30 @@ Python packets-per-second on five workloads:
   the ``cache_miss`` workload (the miss path additionally observes the
   packet-size histogram on every flow install).
 
+A separate ``shard`` section measures the sharded data path
+(``repro.shard``) on the same cached/miss traffic, three arms each:
+
+* ``single`` — a one-shard inline ``ShardedRouter`` driving
+  ``receive_wire`` (decode + batch data path, the honest same-process
+  baseline: it pays the same codec cost the mp workers pay);
+* ``mp`` — the real end-to-end 4-worker fork backend.  Its
+  ``real_ratio`` over ``single`` is the wall-clock parallel speedup,
+  which is only meaningful with >= 4 usable cores;
+* ``dispatch`` — the parent-side pipeline alone, no IPC: RSS
+  bucketing, scatter bookkeeping, batch slicing, request
+  serialization, and reply deserialization (everything the parent
+  does per packet in the mp backend except the kernel pipe syscalls,
+  plus the worker-side reply serialization for good measure — the
+  arm overcounts, so the ratio is conservative).  ``dispatch_ratio``
+  over ``single`` is core-count independent: it proves the dispatcher
+  can feed >= that many single-router equivalents, i.e. the parent is
+  not the bottleneck when cores exist.  A null-path mp pool is *not*
+  used for this number: on a box with fewer cores than workers the
+  echo IPC shares the parent's core and the measurement collapses to
+  core contention, not capacity.  ``scripts/bench_check.sh`` always
+  gates ``dispatch_ratio`` and gates ``real_ratio`` only when the
+  machine has >= 4 usable cores.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py                 # full run
@@ -69,11 +93,19 @@ from repro.core.router import Router
 from repro.net.addresses import IPAddress
 from repro.net.headers import PROTO_UDP
 from repro.net.packet import Packet
+from repro.shard import (
+    ShardedRouter,
+    dispatch_wire,
+    encode_packet,
+    mp_available,
+    usable_cpus,
+)
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(HERE, "baseline_throughput.json")
 OUTPUT_PATH = os.path.join(HERE, "..", "BENCH_throughput.json")
 
+NSHARDS = 4         # worker count of the sharded-data-path section
 FLOWS = 64          # distinct flows in the cached workloads
 CHURN_FLOWS = 4096  # distinct flows in the miss_churn workload...
 CHURN_CAP = 1024    # ...against a flow table capped this small
@@ -368,6 +400,130 @@ def run_telemetry_pair(kind: str, n: int, reps: int, use_batch: bool):
     return best["off"], best["on"]
 
 
+def _shard_factory(index: int) -> Router:
+    """Per-shard router for the shard section (runs inside each forked
+    worker for the mp arms, so state never crosses the fork)."""
+    return build_router()
+
+
+def _time_wire(front, descs, now: float = 0.0) -> float:
+    """Timed ``receive_wire`` pass with the GC parked (see _time_pass)."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        front.receive_wire(descs, now=now)
+        return time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _time_dispatch_capacity(descs, batch_size: int = 256) -> float:
+    """Timed pass over the parent's per-packet mp pipeline work, no IPC.
+
+    Mirrors ``ShardWorkerPool.process_wire``: RSS bucket, slice
+    ``batch_size`` chunks, serialize each ("batch", now, chunk) request,
+    and deserialize a dispositions reply per chunk.  The reply blob is
+    *produced* in the loop too (worker-side work in reality), so the
+    measured rate understates true parent capacity — conservative.
+    """
+    import pickle
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        dumps, loads = pickle.dumps, pickle.loads
+        start = time.perf_counter()
+        buckets, indices = dispatch_wire(descs, NSHARDS)
+        for s in range(NSHARDS):
+            bucket, idx = buckets[s], indices[s]
+            for at in range(0, len(bucket), batch_size):
+                chunk = bucket[at:at + batch_size]
+                dumps(("batch", 0.0, chunk), protocol=-1)
+                scatter = idx[at:at + batch_size]
+                reply = loads(dumps(["forwarded"] * len(chunk), protocol=-1))
+                for i, d in zip(scatter, reply):
+                    pass
+        return time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def run_shard_workload(kind: str, n: int, reps: int) -> dict:
+    """Best-of pps for the three shard arms on one traffic kind.
+
+    Every arm consumes the identical descriptor stream (fold
+    precomputed by ``encode_packet``), so the only variable is the
+    execution backend behind the RSS front end.
+    """
+    make = make_cached_packets if kind == "cached" else make_miss_packets
+    warm_descs = (
+        [encode_packet(p) for p in make_cached_packets(FLOWS)]
+        if kind == "cached" else []
+    )
+    best = {"single": 0.0, "mp": 0.0, "dispatch": 0.0}
+    for _ in range(reps):
+        descs = [encode_packet(p) for p in make(n)]
+
+        single = ShardedRouter(nshards=1, factory=_shard_factory,
+                               backend="inline")
+        if warm_descs:
+            single.receive_wire(warm_descs)
+        elapsed = _time_wire(single, descs)
+        forwarded = single.counters["forwarded"] - len(warm_descs)
+        if forwarded != n:
+            raise RuntimeError(
+                f"shard_{kind}/single: forwarded {forwarded} of {n}"
+            )
+        best["single"] = max(best["single"], n / elapsed)
+
+        best["dispatch"] = max(
+            best["dispatch"], n / _time_dispatch_capacity(descs)
+        )
+
+        if mp_available():
+            with ShardedRouter(nshards=NSHARDS, factory=_shard_factory,
+                               backend="mp") as front:
+                if warm_descs:
+                    front.receive_wire(warm_descs)
+                elapsed = _time_wire(front, descs)
+                counters = front.health()["counters"]
+            forwarded = counters.get("forwarded", 0) - len(warm_descs)
+            if forwarded != n:
+                raise RuntimeError(
+                    f"shard_{kind}/mp: forwarded {forwarded} of {n}"
+                )
+            best["mp"] = max(best["mp"], n / elapsed)
+
+    row = {
+        "single_pps": round(best["single"], 1),
+        "mp_pps": round(best["mp"], 1) or None,
+        "dispatch_pps": round(best["dispatch"], 1) or None,
+    }
+    if best["mp"]:
+        row["real_ratio"] = round(best["mp"] / best["single"], 2)
+    if best["dispatch"]:
+        row["dispatch_ratio"] = round(best["dispatch"] / best["single"], 2)
+    return row
+
+
+def measure_shard(quick: bool) -> dict:
+    """The shard section of the report (self-relative ratios, so it has
+    no entry in the stored pre-PR baseline)."""
+    n = 5_000 if quick else 20_000
+    reps = 2 if quick else 3
+    return {
+        "nshards": NSHARDS,
+        "usable_cpus": usable_cpus(),
+        "mp_available": mp_available(),
+        "shard_cached": run_shard_workload("cached", n, reps),
+        "shard_miss": run_shard_workload("miss", n, reps),
+    }
+
+
 def measure(quick: bool, use_batch: bool) -> dict:
     n = 5_000 if quick else 30_000
     reps = 2 if quick else 4
@@ -432,6 +588,7 @@ def main(argv=None) -> int:
         "workloads": list(WORKLOADS),
         "packets_per_second": results,
         "baseline_packets_per_second": baseline,
+        "shard": measure_shard(args.quick),
     }
     if baseline:
         report["speedup"] = {

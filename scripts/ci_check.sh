@@ -85,4 +85,11 @@ echo "==== attack gate (seeded adversarial soak) ===="
 PYTHONPATH=src python -m pytest -q -m attack tests/sim/test_attack_soak.py
 PYTHONPATH=src python -m pytest -q tests/aiu/test_flow_table_bounds.py
 
+echo "==== shard gate (sharded data-path differential suite) ===="
+# The sharded front end must be provably equal to a single router:
+# per-flow dispositions, ordering, flow stats, telemetry aggregation,
+# control-plane fanout, and the mp backend's bit-equality with inline
+# (tests/shard/, docs/PERFORMANCE.md "Sharded data path").
+PYTHONPATH=src python -m pytest -q -m shard tests/shard/
+
 echo "==== ci_check: all gates passed ===="

@@ -35,6 +35,7 @@ from .mgr import (
     run_script,
 )
 from .net import IPAddress, NetworkInterface, Packet, Prefix, make_tcp, make_udp
+from .shard import ShardedPluginLibrary, ShardedRouter
 from .sim import Costs, CycleMeter, EventLoop, MemoryMeter
 from .telemetry import (
     JsonLinesExporter,
@@ -76,6 +77,8 @@ __all__ = [
     "Prefix",
     "make_tcp",
     "make_udp",
+    "ShardedPluginLibrary",
+    "ShardedRouter",
     "Costs",
     "CycleMeter",
     "EventLoop",

@@ -40,6 +40,7 @@ CODES: Dict[str, Tuple[str, str]] = {
     "RP206": (WARNING, "over-broad except Exception on the data path"),
     "RP207": (WARNING, "metric emission bypasses the telemetry registry"),
     "RP208": (WARNING, "per-packet recomputation of loop-invariant work in a batch hook"),
+    "RP209": (ERROR, "process-seeded builtin hash() on packet/flow state"),
     # RP3xx — compiled/interpreted equivalence (repro.analysis.equivalence).
     "RP301": (ERROR, "compiled DAG walk diverges from interpreted matchers"),
     "RP302": (ERROR, "compiled BMP lookup diverges from engine lookup"),

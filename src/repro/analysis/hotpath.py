@@ -175,6 +175,22 @@ class _FunctionLint:
                     "move I/O to the control path (a plugin message handler)",
                 )
                 return
+            if (
+                name == "hash"
+                and name not in self.local_names
+                and self.fn.__globals__.get(name) is None
+                and node.args
+                and not isinstance(node.args[0], ast.Constant)
+            ):
+                self.emit(
+                    "RP209",
+                    node,
+                    "builtin hash() is process-seeded (PYTHONHASHSEED): the "
+                    "same packet hashes differently in different workers",
+                    "derive placement from the deterministic five-tuple fold "
+                    "(Packet.flow_fold32 / fold_five_tuple), never hash()",
+                )
+                return
             if name in self.local_names:
                 module, attr = self.local_names[name]
                 top = module.split(".")[0]
@@ -618,6 +634,49 @@ def lint_plugins(plugins: Iterable[object]) -> AnalysisReport:
             if key not in seen:
                 seen.add(key)
                 report.add(diagnostic)
+    return report
+
+
+def lint_module_functions(module) -> List[Diagnostic]:
+    """Lint every module-level function defined in ``module`` (plus its
+    closure) as data-path code.  Used for non-plugin hot paths like the
+    shard dispatch layer, where an RP209 ``hash()`` regression would
+    silently break cross-process flow placement."""
+    diagnostics: List[Diagnostic] = []
+    seen: Set[Tuple[str, Optional[str], Optional[int]]] = set()
+    for name in sorted(vars(module)):
+        fn = vars(module)[name]
+        if not inspect.isfunction(fn) or fn.__module__ != module.__name__:
+            continue
+        for lint in _closure_lints(fn, None):
+            for diagnostic in lint.diagnostics:
+                key = (diagnostic.code, diagnostic.file, diagnostic.line)
+                if key not in seen:
+                    seen.add(key)
+                    diagnostics.append(diagnostic)
+    return diagnostics
+
+
+def lint_shard_dispatch() -> AnalysisReport:
+    """RP2xx over the shard dispatch/handoff layer (repro.shard.dispatch
+    and the worker pool's hot methods)."""
+    import importlib
+
+    from ..shard import mp as shard_mp
+
+    report = AnalysisReport()
+    dispatch = importlib.import_module("repro.shard.dispatch")
+    for diagnostic in lint_module_functions(dispatch):
+        report.add(diagnostic)
+    seen: Set[Tuple[str, Optional[str], Optional[int]]] = set()
+    for root in (shard_mp.ShardWorkerPool.process_wire, shard_mp._worker_main):
+        owner = shard_mp.ShardWorkerPool if root.__name__ == "process_wire" else None
+        for lint in _closure_lints(root, owner):
+            for diagnostic in lint.diagnostics:
+                key = (diagnostic.code, diagnostic.file, diagnostic.line)
+                if key not in seen:
+                    seen.add(key)
+                    report.add(diagnostic)
     return report
 
 

@@ -14,7 +14,7 @@ from typing import List, Optional
 from .diagnostics import AnalysisReport
 from .equivalence import verify_aiu, verify_engine
 from .filterset import analyze_filterset
-from .hotpath import lint_builtin_plugins, lint_plugins
+from .hotpath import lint_builtin_plugins, lint_plugins, lint_shard_dispatch
 
 
 def analyze_router(router, include_plugins: bool = True) -> AnalysisReport:
@@ -76,6 +76,7 @@ def self_lint(engine_names: Optional[List[str]] = None) -> AnalysisReport:
 
     report = AnalysisReport()
     report.extend(lint_builtin_plugins())
+    report.extend(lint_shard_dispatch())
     names = engine_names or sorted(set(ENGINES))
     filters = random_filters(64, seed=7, host_fraction=0.5)
     for name in names:

@@ -57,7 +57,7 @@ from __future__ import annotations
 import textwrap
 from typing import Callable, Optional
 
-from ..aiu.filters import flow_key_of
+from ..aiu.filters import FlowKey, flow_key_of
 from ..aiu.records import GateSlot
 from ..net.icmp import destination_unreachable, time_exceeded
 from ..net.interfaces import NetworkInterface
@@ -325,6 +325,8 @@ def _compile(router, fused: bool, plain: bool) -> Callable:
         "GateSlot": GateSlot,
         "NULL": NULL_METER,
         "flow_key_of": flow_key_of,
+        "FlowKey": FlowKey,
+        "FK_NEW": FlowKey.__new__,
         "PSTATS": PARSE_STATS,
         "TEXC": time_exceeded,
         "DUNR": destination_unreachable,
@@ -514,7 +516,18 @@ def _emit_classify(blk, plan, depth):
             table.misses += 1
             fkey = packet._flow_key
             if fkey is None:
-                fkey = flow_key_of(packet)
+                # Inline flow_key_of: the header fields are already in
+                # locals, so build the key with straight stores instead
+                # of re-reading seven packet attributes through a call.
+                fkey = FK_NEW(FlowKey)
+                fkey.src = sv
+                fkey.src_width = sw
+                fkey.dst = dv
+                fkey.protocol = proto
+                fkey.sport = sp
+                fkey.dport = dp
+                fkey.iif = iifv
+                packet._flow_key = fkey
     """)
     _emit_allocate(blk, plan, depth + 2)
     blk(depth + 2, f"""
@@ -648,9 +661,12 @@ def _emit_allocate(blk, plan, depth):
         victim.lru_prev = None
         table.active -= 1
         table.evictions += 1
-        free.append(victim)
+        # Recycle in place: the scalar path appends the victim to the
+        # free list and immediately pops it back (LIFO), so handing the
+        # victim straight to the installer is state-identical and skips
+        # the list round trip.
         table.recycled += 1
-        record = free.pop()
+        record = victim
     """)
 
 

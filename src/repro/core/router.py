@@ -24,7 +24,6 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..aiu import AIU
 from ..aiu.records import FlowRecord
 from ..bmp import make_engine
 from ..net.fragment import FragmentationError, fragment_v4
@@ -43,6 +42,7 @@ from .faults import DEGRADE_BYPASS, FaultManager
 from .gates import DEFAULT_GATES, GATE_PACKET_SCHEDULING, GATE_ROUTING
 from .pcu import PluginControlUnit
 from .plugin import PluginContext, Verdict
+from .shard_state import ShardLocalState
 
 
 class Disposition:
@@ -78,7 +78,11 @@ class Router:
     ):
         self.name = name
         self.gates: Tuple[str, ...] = tuple(gates)
-        self.aiu = AIU(
+        # All mutable classification state lives behind one shard-local
+        # object (repro.core.shard_state) so a sharded front end can
+        # replicate it per worker; the router binds plain aliases to the
+        # same containers, so the hot path is unchanged.
+        self.shard_state = ShardLocalState(
             self.gates,
             table_kind=table_kind,
             bmp_engine=bmp_engine,
@@ -87,6 +91,7 @@ class Router:
             use_flow_cache=use_flow_cache,
             evict_policy=flow_eviction,
         )
+        self.aiu = self.shard_state.aiu
         self.pcu = PluginControlUnit(aiu=self.aiu, router=self)
         self.routing_table = RoutingTable(
             lpm_factory=lambda width: make_engine(bmp_engine, width)
@@ -103,13 +108,13 @@ class Router:
         self._schedulers: Dict[str, object] = {}
         self._tx_busy: Dict[str, bool] = {}
         self.loop = loop
-        self.counters: Counter = Counter()
+        self.counters: Counter = self.shard_state.counters
         # Fault containment (docs/ROBUSTNESS.md): per-plugin fault
         # domains plus the live quarantine map the gate macros consult.
         # The map is empty unless a plugin is actually quarantined, so
         # the healthy path pays one truthiness test per plugin call.
-        self._quarantined: Dict[object, object] = {}
-        self.faults = FaultManager(self)
+        self._quarantined: Dict[object, object] = self.shard_state.quarantined
+        self.faults = self.shard_state.faults = FaultManager(self)
         self.send_icmp_errors = send_icmp_errors
         self._icmp_limiter = IcmpRateLimiter()
         #: Optional per-packet walk recorder (see repro.core.tracing).
@@ -986,7 +991,7 @@ class Router:
             self.detach_telemetry()
             return registry
         registry.bind_router(self)
-        self.telemetry = registry
+        self.telemetry = self.shard_state.telemetry = registry
         self._tm_gate_cells = registry.gate_dispatch_cells
         hist = registry.histogram(
             "aiu.miss_packet_size_bytes",
@@ -999,7 +1004,7 @@ class Router:
     def detach_telemetry(self) -> None:
         """Disable telemetry: every instrumented seam returns to the
         single ``is None`` test."""
-        self.telemetry = None
+        self.telemetry = self.shard_state.telemetry = None
         self._tm_gate_cells = None
         self.aiu._tm_size_hist = None
         self.aiu._tm_size_counts = None
@@ -1011,11 +1016,11 @@ class Router:
             from ..telemetry.tracer import LifecycleTracer
 
             tracer = LifecycleTracer(sample=sample, capacity=capacity)
-        self._lifecycle = tracer
+        self._lifecycle = self.shard_state.lifecycle = tracer
         return tracer
 
     def detach_lifecycle_tracer(self) -> None:
-        self._lifecycle = None
+        self._lifecycle = self.shard_state.lifecycle = None
 
     # ------------------------------------------------------------------
     # Overload protection (docs/ROBUSTNESS.md) — control path only
@@ -1032,12 +1037,12 @@ class Router:
 
             governor = OverloadGovernor(**config)
         governor.bind_router(self)
-        self._overload = governor
+        self._overload = self.shard_state.overload = governor
         return governor
 
     def detach_overload_governor(self) -> None:
         """Remove the governor: the seam returns to one ``None`` test."""
-        self._overload = None
+        self._overload = self.shard_state.overload = None
 
     # ------------------------------------------------------------------
     # Health / fault introspection

@@ -1,0 +1,103 @@
+"""Shard-local classification state — the unit a sharded router replicates.
+
+The ROADMAP's sharding direction starts with an enabling refactor: all
+mutable classification state of one forwarding engine must live behind a
+single object so N workers can each own a shared-nothing replica.  That
+object is :class:`ShardLocalState`.  It owns:
+
+* the AIU (filter tables, flow table, gate bindings, plan epoch),
+* the disposition counters,
+* the live quarantine map and the per-plugin fault manager,
+* the attached telemetry / lifecycle-tracer / overload handles.
+
+A :class:`~repro.core.router.Router` is exactly one ``ShardLocalState``
+plus immutable gate geometry, interfaces, and the routing tables (which
+are configuration, replicated identically across shards by the control
+fanout, not per-flow mutable state).  The router binds plain attribute
+aliases to the state's containers — ``router.aiu is state.aiu`` — so the
+hot path keeps its one-attribute-load idiom; no property indirection is
+introduced.  Rebindable seams (telemetry, overload, lifecycle) are
+mirrored into the state by the router's attach/detach methods so the
+state object is always the complete description of one shard.
+
+``repro.shard`` builds on this: each worker constructs its own Router
+(hence its own ``ShardLocalState``), and cross-shard aggregation reads
+``summary()`` per shard.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..aiu import AIU
+
+
+class ShardLocalState:
+    """All mutable classification state of one forwarding engine."""
+
+    __slots__ = (
+        "gates",
+        "aiu",
+        "counters",
+        "quarantined",
+        "faults",
+        "telemetry",
+        "lifecycle",
+        "overload",
+    )
+
+    def __init__(
+        self,
+        gates: Sequence[str],
+        *,
+        table_kind: str = "dag",
+        bmp_engine: str = "patricia",
+        flow_buckets: int = 32768,
+        max_records: Optional[int] = None,
+        use_flow_cache: bool = True,
+        evict_policy: str = "lru",
+    ):
+        self.gates: Tuple[str, ...] = tuple(gates)
+        self.aiu = AIU(
+            self.gates,
+            table_kind=table_kind,
+            bmp_engine=bmp_engine,
+            flow_buckets=flow_buckets,
+            max_records=max_records,
+            use_flow_cache=use_flow_cache,
+            evict_policy=evict_policy,
+        )
+        self.counters: Counter = Counter()
+        self.quarantined: Dict[object, object] = {}
+        # Bound by the owning Router (the FaultManager needs the router
+        # for ICMP/tracer plumbing); None only between construction and
+        # Router.__init__ finishing.
+        self.faults = None
+        self.telemetry = None
+        self.lifecycle = None
+        self.overload = None
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """One shard's row in the cross-shard breakdown (`show shards`)."""
+        table = self.aiu.flow_table
+        counters = self.counters
+        gov = self.overload
+        return {
+            "rx": counters.get("rx", 0),
+            "forwarded": counters.get("forwarded", 0),
+            "dropped": sum(
+                v for k, v in counters.items()
+                if isinstance(k, str) and k.startswith("dropped")
+            ),
+            "flows_active": table.active,
+            "flow_hits": table.hits,
+            "flow_misses": table.misses,
+            "evictions": table.evictions,
+            "filters": self.aiu.filter_count(),
+            "quarantined": sorted(
+                {d.plugin for d in self.quarantined.values()}
+            ),
+            "overload_tier": "normal" if gov is None else gov.brief()["tier"],
+        }

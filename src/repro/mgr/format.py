@@ -15,7 +15,7 @@ from ..core.faults import render_fault
 #: Topics ``query``/``show`` understand, in help order.
 TOPICS = (
     "plugins", "filters", "flows", "aiu", "faults", "health",
-    "telemetry", "trace", "overload",
+    "telemetry", "trace", "overload", "shards",
 )
 
 
@@ -136,6 +136,22 @@ def _render_overload(data: dict) -> List[str]:
     return lines
 
 
+def _render_shards(data: dict) -> List[str]:
+    lines = [f"shards: {data['nshards']} backend={data['backend']}"]
+    for row in data["shards"]:
+        lines.append(
+            f"  shard {row['shard']}: rx={row['rx']} "
+            f"forwarded={row['forwarded']} dropped={row['dropped']} "
+            f"flows={row['flows_active']} "
+            f"hits={row['flow_hits']} misses={row['flow_misses']} "
+            f"evictions={row['evictions']} filters={row['filters']} "
+            f"tier={row['overload_tier']}"
+            + (f" quarantined={','.join(row['quarantined'])}"
+               if row["quarantined"] else "")
+        )
+    return lines
+
+
 _RENDERERS: Dict[str, Callable[[dict], List[str]]] = {
     "plugins": _render_plugins,
     "filters": _render_filters,
@@ -146,6 +162,7 @@ _RENDERERS: Dict[str, Callable[[dict], List[str]]] = {
     "telemetry": _render_telemetry,
     "trace": _render_trace,
     "overload": _render_overload,
+    "shards": _render_shards,
 }
 
 

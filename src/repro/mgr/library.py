@@ -305,6 +305,15 @@ class RouterPluginLibrary:
         data.update(tracer.to_dict())
         return data
 
+    def _query_shards(self) -> dict:
+        """A single router is the one-shard degenerate case: same shape
+        as the sharded fanout's cross-shard breakdown (repro.shard)."""
+        return {
+            "nshards": 1,
+            "backend": "local",
+            "shards": [dict(shard=0, **self.router.shard_state.summary())],
+        }
+
     # ------------------------------------------------------------------
     # Introspection ("show" commands) — formatters over query()
     # ------------------------------------------------------------------

@@ -56,7 +56,15 @@ class PluginManager:
     """The command interpreter over the Router Plugin Library."""
 
     def __init__(self, router: Router, output: Optional[Callable[[str], None]] = None):
-        self.library = RouterPluginLibrary(router)
+        # Duck-typed: a ShardedRouter front end gets the control-plane
+        # fanout library so every command broadcasts to all shards and
+        # every ``show`` aggregates across them (docs/OBSERVABILITY.md).
+        if hasattr(router, "nshards") and hasattr(router, "shards"):
+            from ..shard.control import ShardedPluginLibrary
+
+            self.library = ShardedPluginLibrary(router)
+        else:
+            self.library = RouterPluginLibrary(router)
         self.router = router
         self._print = output or (lambda line: None)
         self._commands: Dict[str, Callable[[List[str]], None]] = {
@@ -134,7 +142,11 @@ class PluginManager:
     def _cmd_modload(self, args: List[str]) -> None:
         self._need(args, 1, "modload <plugin>")
         plugin = self.library.modload(args[0])
-        self._print(f"loaded {plugin.name} code=0x{plugin.code:08x}")
+        # Fanout libraries (repro.shard) broadcast and return no handle.
+        if plugin is None:
+            self._print(f"loaded {args[0]}")
+        else:
+            self._print(f"loaded {plugin.name} code=0x{plugin.code:08x}")
 
     def _cmd_modunload(self, args: List[str]) -> None:
         self._need(args, 1, "modunload <plugin>")
@@ -146,7 +158,7 @@ class PluginManager:
             raise ConfigurationError("usage: create <plugin> <instance> [key=value...]")
         config = dict(parse_config_value(token) for token in args[2:])
         instance = self.library.create_instance(args[0], args[1], **config)
-        self._print(f"created {instance.name}")
+        self._print(f"created {instance.name if instance else args[1]}")
 
     def _cmd_free(self, args: List[str]) -> None:
         self._need(args, 1, "free <instance>")
@@ -161,7 +173,10 @@ class PluginManager:
         record = self.library.bind(
             instance_name, filter_spec, gate=None if gate == "-" else gate
         )
-        self._print(f"bound {instance_name} at {record.gate}: {record.filter}")
+        if record is None:
+            self._print(f"bound {instance_name}: {filter_spec}")
+        else:
+            self._print(f"bound {instance_name} at {record.gate}: {record.filter}")
 
     def _cmd_unbind(self, args: List[str]) -> None:
         self._need(args, 1, "unbind <instance>")
@@ -211,7 +226,10 @@ class PluginManager:
             raise ConfigurationError("usage: quarantine <plugin> [drop|bypass|unload]")
         action = args[1] if len(args) == 2 else None
         domain = self.library.quarantine(args[0], action=action)
-        self._print(f"quarantined {args[0]} action={domain.policy.action}")
+        self._print(
+            f"quarantined {args[0]}"
+            + (f" action={domain.policy.action}" if domain else "")
+        )
 
     def _cmd_reinstate(self, args: List[str]) -> None:
         self._need(args, 1, "reinstate <plugin>")
@@ -226,7 +244,7 @@ class PluginManager:
             )
         config = dict(parse_config_value(token) for token in args[1:])
         domain = self.library.set_fault_policy(args[0], **config)
-        self._print(f"faultpolicy {args[0]}: {domain.policy}")
+        self._print(f"faultpolicy {args[0]}" + (f": {domain.policy}" if domain else ""))
 
     def _cmd_analyze(self, args: List[str]) -> None:
         if args not in ([], ["--json"]):
@@ -269,9 +287,12 @@ class PluginManager:
                 f"unknown trace options {sorted(unknown)}; known: sample, capacity"
             )
         tracer = self.library.start_trace(**config)
-        self._print(
-            f"tracing enabled sample=1/{tracer.sample} capacity={tracer.capacity}"
-        )
+        if tracer is None:
+            self._print("tracing enabled")
+        else:
+            self._print(
+                f"tracing enabled sample=1/{tracer.sample} capacity={tracer.capacity}"
+            )
 
     def _cmd_overload(self, args: List[str]) -> None:
         usage = "usage: overload on [key=value...] | overload off | overload status"
@@ -294,10 +315,13 @@ class PluginManager:
             return
         config = dict(parse_config_value(token) for token in args[1:])
         governor = self.library.enable_overload(**config)
-        self._print(
-            f"overload governor enabled tier={governor.tier} "
-            f"sample_interval={governor.sample_interval}"
-        )
+        if governor is None:
+            self._print("overload governor enabled")
+        else:
+            self._print(
+                f"overload governor enabled tier={governor.tier} "
+                f"sample_interval={governor.sample_interval}"
+            )
 
     def _cmd_show(self, args: List[str]) -> None:
         json_out = "--json" in args

@@ -75,6 +75,13 @@ class LinearLPM:
         return iter(self._entries)
 
 
+#: Sentinel distinguishing "memoized as unroutable" (None) from "not
+#: memoized"; a bench-sized cap keeps hostile destination sweeps from
+#: turning the memo into a leak.
+_MEMO_MISS = object()
+_MEMO_CAP = 65536
+
+
 class RoutingTable:
     """A per-family routing table over a pluggable LPM engine."""
 
@@ -89,6 +96,14 @@ class RoutingTable:
         # width -> bound fast-lookup callable; engines are created once
         # per width and never replaced, so this never goes stale.
         self._fast_lookups: Dict[int, object] = {}
+        # Destination-value -> Route memos, one per family so the raw
+        # int value can key the dict without a (width, value) tuple per
+        # lookup.  Cleared on any add/remove (alongside the version
+        # bump), so a memoized route can never outlive the table state
+        # that produced it.  Bounded: churny destination sets reset the
+        # memo rather than growing it without limit.
+        self._memo4: Dict[int, Optional[Route]] = {}
+        self._memo6: Dict[int, Optional[Route]] = {}
 
     def _engine(self, width: int):
         if width not in self._engines:
@@ -111,6 +126,8 @@ class RoutingTable:
         self._routes[prefix] = route
         self._engine(prefix.width).insert(prefix, route)
         self.version += 1
+        self._memo4.clear()
+        self._memo6.clear()
         return route
 
     def remove(self, prefix) -> bool:
@@ -121,6 +138,8 @@ class RoutingTable:
         del self._routes[prefix]
         self._engine(prefix.width).remove(prefix)
         self.version += 1
+        self._memo4.clear()
+        self._memo6.clear()
         return True
 
     def lookup(self, dst) -> Optional[Route]:
@@ -136,9 +155,18 @@ class RoutingTable:
         """Compiled-path longest-prefix match: no meter, no modelled
         cost.  BMP engines expose a compiled ``lookup_fast``; any other
         engine falls back to its plain ``lookup``.  The bound callable is
-        resolved once per width, not per packet."""
+        resolved once per width, not per packet, and results are memoized
+        per destination value until the next add/remove — under flow
+        churn the per-flow route memo dies with the evicted record, so
+        this is what keeps a repeated destination from re-walking the
+        BMP trie on every flow rebirth."""
         if isinstance(dst, str):
             dst = IPAddress.parse(dst)
+        memo = self._memo4 if dst.width == 32 else self._memo6
+        value = dst.value
+        route = memo.get(value, _MEMO_MISS)
+        if route is not _MEMO_MISS:
+            return route
         fast = self._fast_lookups.get(dst.width)
         if fast is None:
             engine = self._engines.get(dst.width)
@@ -146,7 +174,11 @@ class RoutingTable:
                 return None
             fast = getattr(engine, "lookup_fast", None) or engine.lookup
             self._fast_lookups[dst.width] = fast
-        return fast(dst.value)
+        route = fast(value)
+        if len(memo) >= _MEMO_CAP:
+            memo.clear()
+        memo[value] = route
+        return route
 
     def routes(self) -> List[Route]:
         return list(self._routes.values())

@@ -1,0 +1,394 @@
+"""Control-plane fanout: one management surface over N shards.
+
+:class:`ShardedPluginLibrary` mirrors the
+:class:`~repro.mgr.library.RouterPluginLibrary` call surface.  Every
+configuration call — modload, create/bind, quarantine, fault policy,
+telemetry, overload, routes — broadcasts to all shards, which is what
+keeps the shards identically configured (the invariant the dispatch
+layer's equivalence guarantee rests on).  Every ``query()`` aggregates:
+counters are summed, histograms merged bucket-wise, worst-tier wins,
+and the ``shards`` topic exposes the per-shard breakdown
+(``pmgr show shards --json``).
+
+Backends:
+
+* inline — one :class:`~repro.mgr.pmgr.PluginManager` per shard router;
+  typed calls go straight to each shard's library.
+* mp — typed calls are rendered to their pmgr script line and broadcast
+  to the workers (each runs it on its own in-worker manager); queries
+  round-trip structured dicts.
+
+``PluginManager(ShardedRouter(...))`` selects this library
+automatically, so ``pmgr`` scripts and ``show X [--json]`` drive a
+sharded router exactly like a single one.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.overload import TIERS
+from ..mgr.format import TOPICS
+from ..mgr.library import RouterPluginLibrary
+
+
+def _merge_sum_dict(dicts: List[dict]) -> dict:
+    """Key-wise merge: numerics summed, dicts recursed, first otherwise."""
+    out: dict = {}
+    for d in dicts:
+        for key, value in d.items():
+            if isinstance(value, bool):
+                out.setdefault(key, value)
+            elif isinstance(value, (int, float)):
+                out[key] = out.get(key, 0) + value
+            elif isinstance(value, dict):
+                out[key] = _merge_sum_dict([out.get(key, {}), value])
+            else:
+                out.setdefault(key, value)
+    return out
+
+
+class ShardedPluginLibrary:
+    """Fanout twin of RouterPluginLibrary over a ShardedRouter."""
+
+    def __init__(self, sharded):
+        from .sharded import ShardedRouter  # local: avoid import cycle
+
+        if not isinstance(sharded, ShardedRouter):
+            raise ConfigurationError(
+                "ShardedPluginLibrary wraps a ShardedRouter"
+            )
+        self.sharded = sharded
+        self.router = sharded  # pmgr reads .router for status commands
+        self.libraries: List[RouterPluginLibrary] = [
+            RouterPluginLibrary(r) for r in sharded.shards
+        ]
+
+    # ------------------------------------------------------------------
+    # Fanout plumbing
+    # ------------------------------------------------------------------
+    def _fanout(self, call: Callable, script_line: str):
+        """Apply a typed call per shard (inline) or its script rendering
+        (mp).  Returns the per-shard results (inline) or None (mp)."""
+        pool = self.sharded._pool
+        if pool is not None:
+            pool.run_script(script_line)
+            return None
+        results = [call(lib) for lib in self.libraries]
+        return results
+
+    @staticmethod
+    def _q(token) -> str:
+        return shlex.quote(str(token))
+
+    # ------------------------------------------------------------------
+    # Configuration calls (broadcast)
+    # ------------------------------------------------------------------
+    def modload(self, name: str):
+        results = self._fanout(
+            lambda lib: lib.modload(name), f"modload {self._q(name)}"
+        )
+        return results[0] if results else None
+
+    def modunload(self, name: str) -> None:
+        self._fanout(
+            lambda lib: lib.modunload(name), f"modunload {self._q(name)}"
+        )
+
+    def create_instance(self, plugin_name: str, instance_name: str, **config):
+        keyvals = " ".join(
+            f"{key}={self._q(value)}" for key, value in config.items()
+        )
+        results = self._fanout(
+            lambda lib: lib.create_instance(plugin_name, instance_name, **config),
+            f"create {self._q(plugin_name)} {self._q(instance_name)} {keyvals}".strip(),
+        )
+        return results[0] if results else None
+
+    def free_instance(self, instance_name: str) -> None:
+        self._fanout(
+            lambda lib: lib.free_instance(instance_name),
+            f"free {self._q(instance_name)}",
+        )
+
+    def instance(self, name: str):
+        """Shard 0's instance handle (for message plumbing)."""
+        if not self.libraries:
+            raise ConfigurationError(
+                "instance handles are not available on the mp backend"
+            )
+        return self.libraries[0].instance(name)
+
+    def instances(self) -> List[str]:
+        return self.libraries[0].instances() if self.libraries else []
+
+    def bind(self, instance_name: str, filter_spec: str,
+             gate: Optional[str] = None, priority: int = 0):
+        gate_token = "-" if gate is None else self._q(gate)
+        results = self._fanout(
+            lambda lib: lib.bind(
+                instance_name, filter_spec, gate=gate, priority=priority
+            ),
+            f"bind {self._q(instance_name)} {gate_token} {filter_spec}",
+        )
+        return results[0] if results else None
+
+    def unbind(self, instance_name: str):
+        results = self._fanout(
+            lambda lib: lib.unbind(instance_name),
+            f"unbind {self._q(instance_name)}",
+        )
+        return results[0] if results else None
+
+    def set_scheduler(self, interface: str, instance_name: str) -> None:
+        self._fanout(
+            lambda lib: lib.set_scheduler(interface, instance_name),
+            f"scheduler {self._q(interface)} {self._q(instance_name)}",
+        )
+
+    def add_route(self, prefix: str, interface: str,
+                  next_hop: Optional[str] = None) -> None:
+        tail = f" {self._q(next_hop)}" if next_hop is not None else ""
+        self._fanout(
+            lambda lib: lib.add_route(prefix, interface, next_hop=next_hop),
+            f"route {self._q(prefix)} {self._q(interface)}{tail}",
+        )
+
+    def quarantine(self, plugin_name: str, action: Optional[str] = None):
+        tail = f" {self._q(action)}" if action is not None else ""
+        results = self._fanout(
+            lambda lib: lib.quarantine(plugin_name, action=action),
+            f"quarantine {self._q(plugin_name)}{tail}",
+        )
+        return results[0] if results else None
+
+    def reinstate(self, plugin_name: str):
+        results = self._fanout(
+            lambda lib: lib.reinstate(plugin_name),
+            f"reinstate {self._q(plugin_name)}",
+        )
+        return results[0] if results else None
+
+    def set_fault_policy(self, plugin_name: str, **kwargs):
+        keyvals = " ".join(
+            f"{key}={self._q(value)}" for key, value in kwargs.items()
+        )
+        results = self._fanout(
+            lambda lib: lib.set_fault_policy(plugin_name, **kwargs),
+            f"faultpolicy {self._q(plugin_name)} {keyvals}".strip(),
+        )
+        return results[0] if results else None
+
+    def enable_telemetry(self, registry=None):
+        if registry is not None:
+            raise ConfigurationError(
+                "sharded telemetry attaches one registry per shard; "
+                "pass none and read the aggregated query('telemetry')"
+            )
+        results = self._fanout(
+            lambda lib: lib.enable_telemetry(), "telemetry on"
+        )
+        return results[0] if results else None
+
+    def disable_telemetry(self) -> None:
+        self._fanout(lambda lib: lib.disable_telemetry(), "telemetry off")
+
+    def enable_overload(self, **config):
+        keyvals = " ".join(
+            f"{key}={self._q(value)}" for key, value in config.items()
+        )
+        results = self._fanout(
+            lambda lib: lib.enable_overload(**config),
+            f"overload on {keyvals}".strip(),
+        )
+        return results[0] if results else None
+
+    def disable_overload(self) -> None:
+        self._fanout(lambda lib: lib.disable_overload(), "overload off")
+
+    def start_trace(self, sample: int = 1, capacity: int = 256):
+        results = self._fanout(
+            lambda lib: lib.start_trace(sample=sample, capacity=capacity),
+            f"trace on sample={sample} capacity={capacity}",
+        )
+        return results[0] if results else None
+
+    def stop_trace(self) -> None:
+        self._fanout(lambda lib: lib.stop_trace(), "trace off")
+
+    def run_script(self, text: str) -> None:
+        """Broadcast a whole pmgr configuration script to every shard."""
+        pool = self.sharded._pool
+        if pool is not None:
+            pool.run_script(text)
+            return
+        from ..mgr.pmgr import PluginManager
+
+        for shard_library in self.libraries:
+            manager = PluginManager(shard_library.router)
+            # Reuse the shard's library so instance maps stay coherent.
+            manager.library = shard_library
+            manager.run_script(text)
+
+    def analyze(self, include_plugins: bool = True):
+        """Static analysis on shard 0 (shards are configured identically)."""
+        if not self.libraries:
+            raise ConfigurationError("analyze needs the inline backend")
+        return self.libraries[0].analyze(include_plugins=include_plugins)
+
+    # ------------------------------------------------------------------
+    # Aggregated queries
+    # ------------------------------------------------------------------
+    def query(self, topic: str, **filters) -> dict:
+        """Cross-shard aggregate of every show topic.
+
+        Semantics (docs/OBSERVABILITY.md): counters and flow/fault
+        totals are summed; histograms merge bucket-wise; tiers take the
+        worst rung; configuration views (plugins, filters) come from
+        shard 0 because the fanout keeps shards identical; ``shards``
+        returns the per-shard breakdown.
+        """
+        if topic not in TOPICS:
+            raise ConfigurationError(
+                f"unknown query topic {topic!r}; known: {list(TOPICS)}"
+            )
+        if topic == "shards":
+            return self._query_shards()
+        if topic == "health":
+            return self.sharded.health()
+        per_shard = self._per_shard_query(topic, **filters)
+        if topic in ("plugins", "filters"):
+            return per_shard[0]
+        if topic == "telemetry":
+            return self._merge_telemetry(per_shard)
+        if topic == "overload":
+            return self._merge_overload(per_shard)
+        if topic == "trace":
+            return self._merge_trace(per_shard)
+        if topic == "faults":
+            return self._merge_faults(per_shard)
+        # flows / aiu: plain numeric aggregates.
+        return _merge_sum_dict(per_shard)
+
+    def _per_shard_query(self, topic: str, **filters) -> List[dict]:
+        pool = self.sharded._pool
+        if pool is not None:
+            return pool.query(topic, **filters)
+        return [lib.query(topic, **filters) for lib in self.libraries]
+
+    def _query_shards(self) -> dict:
+        pool = self.sharded._pool
+        if pool is not None:
+            rows = pool.query("shards")
+            summaries = [row["shards"][0] for row in rows]
+        else:
+            summaries = [
+                r.shard_state.summary() for r in self.sharded.shards
+            ]
+        return {
+            "nshards": self.sharded.nshards,
+            "backend": self.sharded.backend,
+            "shards": [
+                {"shard": i, **summary} for i, summary in enumerate(summaries)
+            ],
+        }
+
+    @staticmethod
+    def _merge_telemetry(per_shard: List[dict]) -> dict:
+        if not all(d.get("enabled", True) for d in per_shard):
+            return {"enabled": False}
+        merged: dict = {"enabled": True, "counters": {}, "gauges": {},
+                        "histograms": {}}
+        for d in per_shard:
+            for name, value in d.get("counters", {}).items():
+                merged["counters"][name] = (
+                    merged["counters"].get(name, 0) + value
+                )
+            for name, value in d.get("gauges", {}).items():
+                merged["gauges"][name] = merged["gauges"].get(name, 0) + value
+            for name, hist in d.get("histograms", {}).items():
+                slot = merged["histograms"].get(name)
+                if slot is None:
+                    merged["histograms"][name] = {
+                        "bounds": list(hist["bounds"]),
+                        "counts": list(hist["counts"]),
+                        "count": hist["count"],
+                        "sum": hist["sum"],
+                    }
+                else:
+                    slot["counts"] = [
+                        a + b for a, b in zip(slot["counts"], hist["counts"])
+                    ]
+                    slot["count"] += hist["count"]
+                    slot["sum"] += hist["sum"]
+        return merged
+
+    @staticmethod
+    def _merge_overload(per_shard: List[dict]) -> dict:
+        enabled = [d for d in per_shard if d.get("enabled")]
+        if not enabled:
+            return {"enabled": False}
+        merged = {
+            "enabled": True,
+            "tier": max(
+                (d["tier"] for d in enabled), key=TIERS.index
+            ),
+            # Worst-shard pressure, not the mean: one thrashing shard is
+            # an incident even when its peers are idle.
+            "window": {
+                "packets": sum(d["window"]["packets"] for d in enabled),
+                "miss_ratio": max(d["window"]["miss_ratio"] for d in enabled),
+                "evict_frac": max(d["window"]["evict_frac"] for d in enabled),
+                "occupancy": max(
+                    (d["window"]["occupancy"] for d in enabled
+                     if d["window"]["occupancy"] is not None),
+                    default=None,
+                ),
+            },
+            "counters": _merge_sum_dict([d["counters"] for d in enabled]),
+            "transitions": sorted(
+                (t for d in enabled for t in d["transitions"]),
+                key=lambda t: t["time"],
+            ),
+        }
+        return merged
+
+    @staticmethod
+    def _merge_trace(per_shard: List[dict]) -> dict:
+        enabled = [d for d in per_shard if d.get("enabled")]
+        if not enabled:
+            return {"enabled": False}
+        first = enabled[0]
+        return {
+            "enabled": True,
+            "sample": first["sample"],
+            "capacity": first["capacity"],
+            "sampled": sum(d["sampled"] for d in enabled),
+            "recorded": sum(d["recorded"] for d in enabled),
+            "open": sum(d["open"] for d in enabled),
+            "spans": [span for d in enabled for span in d["spans"]],
+        }
+
+    @staticmethod
+    def _merge_faults(per_shard: List[dict]) -> dict:
+        plugins: dict = {}
+        for d in per_shard:
+            for name, snap in d["plugins"].items():
+                slot = plugins.get(name)
+                if slot is None:
+                    plugins[name] = dict(snap)
+                else:
+                    for key, value in snap.items():
+                        if isinstance(value, bool):
+                            slot[key] = slot.get(key) or value
+                        elif isinstance(value, (int, float)):
+                            slot[key] = slot.get(key, 0) + value
+                        elif key == "records":
+                            slot[key] = list(slot.get(key, [])) + list(value)
+                        elif key == "state" and slot.get(key) != value:
+                            # Any shard quarantined -> surface it.
+                            if value == "quarantined":
+                                slot[key] = value
+        return {"plugins": plugins}

@@ -1,0 +1,113 @@
+"""Multiprocessing backend: forked shard workers must be bit-equal to
+the inline backend (which test_differential.py proves equal to a single
+router), and the control protocol must survive worker-side errors.
+
+Kept deliberately small — fork + pipe plumbing, not throughput (that is
+``benchmarks/bench_throughput.py``'s job).  Skipped where the ``fork``
+start method is unavailable.
+"""
+
+import random
+
+import pytest
+
+from repro import PluginManager, Router, ShardedRouter
+from repro.net.packet import make_udp
+from repro.shard import encode_packet, mp_available
+
+pytestmark = [
+    pytest.mark.shard,
+    pytest.mark.skipif(not mp_available(), reason="needs fork start method"),
+]
+
+CONFIG = """
+modload firewall
+create firewall fw0 action=deny
+bind fw0 ip_security <*, *, UDP, *, 53, *>
+route 10.0.0.0/8 eth1
+route 0.0.0.0/0 eth0
+telemetry on
+"""
+
+
+def _factory(index: int) -> Router:
+    router = Router(name=f"mp/{index}")
+    router.add_interface("eth0")
+    router.add_interface("eth1")
+    return router
+
+
+def _descs(count: int = 400, seed: int = 5):
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        flow = rng.randrange(30)
+        out.append(encode_packet(make_udp(
+            f"172.16.{flow}.{flow + 1}", f"10.0.0.{flow % 7 + 1}",
+            3000 + flow, 53 if flow % 5 == 0 else 443, iif="eth0",
+        )))
+    return out
+
+
+def test_mp_equals_inline():
+    """Same descriptors, same dispositions, same aggregated state."""
+    descs = _descs()
+    with ShardedRouter(nshards=4, factory=_factory, backend="mp",
+                       batch_size=64, window=4) as mp_router:
+        manager = PluginManager(mp_router)
+        manager.run_script(CONFIG)
+        mp_dispo = mp_router.receive_wire(descs, now=0.5)
+        mp_shards = manager.library.query("shards")
+        mp_tel = manager.library.query("telemetry")
+        mp_health = mp_router.health()
+
+    inline = PluginManager(
+        ShardedRouter(nshards=4, factory=_factory, backend="inline")
+    )
+    inline.run_script(CONFIG)
+    assert mp_dispo == inline.router.receive_wire(descs, now=0.5)
+    inline_shards = inline.library.query("shards")
+    assert [r["rx"] for r in mp_shards["shards"]] == [
+        r["rx"] for r in inline_shards["shards"]]
+    assert mp_tel["counters"] == inline.library.query("telemetry")["counters"]
+    assert mp_health["counters"] == inline.router.health()["counters"]
+    assert mp_shards["backend"] == "mp"
+
+
+def test_mp_batches_pipeline_through_credit_window():
+    """More in-flight batches than the window allows: every disposition
+    still lands, in input order (the scatter map survives pipelining)."""
+    descs = _descs(2000)
+    with ShardedRouter(nshards=2, factory=_factory, backend="mp",
+                       batch_size=32, window=2) as mp_router:
+        PluginManager(mp_router).run_script(CONFIG)
+        dispo = mp_router.receive_wire(descs, now=0.0)
+    assert len(dispo) == len(descs)
+    assert None not in dispo
+    inline = PluginManager(
+        ShardedRouter(nshards=2, factory=_factory, backend="inline")
+    )
+    inline.run_script(CONFIG)
+    assert dispo == inline.router.receive_wire(descs, now=0.0)
+
+
+def test_mp_null_path_measures_dispatch_only():
+    """The bench's dispatch-capacity arm: null-path workers echo one
+    disposition per descriptor without touching a router."""
+    descs = _descs(300)
+    with ShardedRouter(nshards=4, factory=_factory, backend="mp",
+                       _null_path=True) as mp_router:
+        dispo = mp_router.receive_wire(descs, now=0.0)
+    assert dispo == ["forwarded"] * len(descs)
+
+
+def test_mp_control_errors_surface_in_parent():
+    """A bad fanout command raises in the parent and does not wedge or
+    kill the workers."""
+    with ShardedRouter(nshards=2, factory=_factory, backend="mp") as mp_router:
+        manager = PluginManager(mp_router)
+        with pytest.raises(Exception):
+            manager.run_command("modload not_a_plugin")
+        manager.run_script(CONFIG)
+        dispo = mp_router.receive_wire(_descs(100), now=0.0)
+        assert len(dispo) == 100 and None not in dispo
