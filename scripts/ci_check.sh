@@ -5,10 +5,12 @@
 # Usage: scripts/ci_check.sh [--full]
 #   --full   forwarded to bench_check.sh (full-sized benchmark)
 #
-# The static-analysis gate self-lints every built-in plugin and verifies
-# compiled/interpreted equivalence for the classifier DAG and all BMP
-# engines (scripts/analyze.py --self-lint), plus ruff/mypy over
-# src/repro/analysis when those tools are installed.  bench_check.sh
+# The static-analysis gate self-lints every built-in plugin (hot-path
+# RP2xx and shard-safety RP4xx passes), sweeps the shard/batch layers
+# themselves, warms and audits every generated loop shape (RP5xx), and
+# verifies compiled/interpreted equivalence for the classifier DAG and
+# all BMP engines (scripts/analyze.py --self-lint), plus ruff/mypy over
+# the linted subsystems when those tools are installed.  bench_check.sh
 # runs the tier-1 suite (including the cost-model invariance tests),
 # the throughput benchmark, and the slow-path regression floor;
 # chaos_check.sh runs the seeded fault-injection soak and the
@@ -23,15 +25,20 @@ cd "$(dirname "$0")/.."
 echo "==== static-analysis gate (scripts/analyze.py --self-lint) ===="
 python scripts/analyze.py --self-lint
 
+echo "== SARIF output smoke (--self-lint --sarif | json.tool) =="
+python scripts/analyze.py --self-lint --sarif | python -m json.tool > /dev/null
+echo "ok: SARIF log is valid JSON"
+
 if command -v ruff >/dev/null 2>&1; then
-    echo "== ruff (src/repro/analysis) =="
-    ruff check src/repro/analysis scripts/analyze.py
+    echo "== ruff (analysis + shard + batch) =="
+    ruff check src/repro/analysis src/repro/shard src/repro/core/batch.py \
+        scripts/analyze.py
 else
     echo "== ruff skipped (not installed) =="
 fi
 
 if command -v mypy >/dev/null 2>&1; then
-    echo "== mypy --strict (src/repro/analysis) =="
+    echo "== mypy (analysis strict; shard/batch typed-where-annotated) =="
     mypy --config-file pyproject.toml
 else
     echo "== mypy skipped (not installed) =="

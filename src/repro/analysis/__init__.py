@@ -1,5 +1,6 @@
 """Static analysis for the plugin router (filter semantics, hot-path
-lint, compiled/interpreted equivalence).
+lint, shard-safety/concurrency lint, exec-codegen audit,
+compiled/interpreted equivalence).
 
 Public API::
 
@@ -7,8 +8,10 @@ Public API::
         AnalysisReport, Diagnostic, CODES,
         analyze_filterset, analyze_table, analyze_records,
         lint_plugin, lint_plugins, lint_builtin_plugins,
+        lint_plugin_concurrency, lint_plugins_concurrency,
+        audit_router_codegen, audit_query_mergeability,
         verify_table, verify_engine, verify_aiu,
-        analyze_router, analyze_script, self_lint,
+        analyze_router, analyze_sharded, analyze_script, self_lint,
     )
 
 Everything here runs from the control path with the null meter — an
@@ -17,6 +20,22 @@ state.  Stable diagnostic codes and the suppression-comment grammar are
 documented in ``docs/STATIC_ANALYSIS.md``.
 """
 
+from .codegen_audit import (
+    audit_dag_table,
+    audit_engine,
+    audit_loop,
+    audit_loop_source,
+    audit_router_codegen,
+)
+from .concurrency import (
+    audit_query_mergeability,
+    lint_builtin_concurrency,
+    lint_instance_state,
+    lint_module_concurrency,
+    lint_plugin_concurrency,
+    lint_plugins_concurrency,
+    lint_shard_concurrency,
+)
 from .diagnostics import (
     CODES,
     ERROR,
@@ -28,6 +47,7 @@ from .diagnostics import (
     severity_of,
     suppressed_codes,
     title_of,
+    unknown_suppressed_codes,
 )
 from .equivalence import verify_aiu, verify_engine, verify_engines, verify_table
 from .filterset import analyze_filterset, analyze_records, analyze_table
@@ -37,7 +57,7 @@ from .hotpath import (
     lint_plugin,
     lint_plugins,
 )
-from .runner import analyze_router, analyze_script, self_lint
+from .runner import analyze_router, analyze_script, analyze_sharded, self_lint
 
 __all__ = [
     "CODES",
@@ -50,18 +70,32 @@ __all__ = [
     "severity_of",
     "suppressed_codes",
     "title_of",
+    "unknown_suppressed_codes",
     "analyze_filterset",
     "analyze_records",
     "analyze_table",
+    "audit_dag_table",
+    "audit_engine",
+    "audit_loop",
+    "audit_loop_source",
+    "audit_query_mergeability",
+    "audit_router_codegen",
     "builtin_plugin_classes",
+    "lint_builtin_concurrency",
     "lint_builtin_plugins",
+    "lint_instance_state",
+    "lint_module_concurrency",
     "lint_plugin",
+    "lint_plugin_concurrency",
     "lint_plugins",
+    "lint_plugins_concurrency",
+    "lint_shard_concurrency",
     "verify_aiu",
     "verify_engine",
     "verify_engines",
     "verify_table",
     "analyze_router",
     "analyze_script",
+    "analyze_sharded",
     "self_lint",
 ]

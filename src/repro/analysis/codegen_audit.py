@@ -1,0 +1,450 @@
+"""Exec-codegen audit (RP5xx) — verify generated data-path code.
+
+The hottest code in the repo is *generated*: :mod:`repro.core.batch`
+emits a specialized batch loop per (plan epoch, configuration) key and
+``exec``\\ s it against an allowlisted namespace, and the DAG classifier
+and BMP engines flatten themselves into compiled lookup structures.
+Nothing at runtime re-checks any of it — a codegen regression surfaces
+as a heisenbug three layers away.  This auditor re-parses every cached
+loop (all three shapes: ``single``, ``lanes``, ``fused``) and walks the
+compiled lookup structures, turning structural invariants into ordinary
+diagnostics:
+
+* RP501 — a free name in the generated source that resolves neither to
+  the compile-time namespace (the allowlisted closure) nor to the small
+  set of safe builtins the emitter is permitted to use.
+* RP502 — nondeterministic builtins in generated code: ``hash()`` (the
+  RP209 hazard, fatal in generated code), ``time``/``random``/
+  ``datetime``/``uuid``/``os`` references.
+* RP503 — a fault handler that neither resumes through a ``_split_*``
+  helper (non-fused shapes) nor classifies through ``on_fault`` (fused)
+  nor re-raises: plugin faults would escape the per-plugin fault domain.
+* RP504 — the specialization key's fields are not reflected in the
+  emitted source (a ``tm`` plan without telemetry cells, a ``bounded``
+  plan that never consults ``MAXR``, ...): the cache would serve a loop
+  compiled for a different configuration.
+* RP505 — a compiled lookup structure violating its shape invariants:
+  stale compile epochs, per-length prefix tables not probed
+  longest-first, unsorted range boundaries, or entry counts that do not
+  match the interpreted structure.
+
+RP5xx findings are never suppressible in spirit (they indicate a
+compiler bug, not a style choice), but the standard ``# rp: ignore``
+grammar still applies to AST-anchored ones for emergencies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .diagnostics import AnalysisReport, Diagnostic
+
+#: Builtins the loop emitter is allowed to reference freely.
+_SAFE_BUILTINS = {
+    "len", "enumerate", "range", "zip", "isinstance", "getattr", "iter",
+    "next", "min", "max", "abs", "id", "True", "False", "None",
+    "Exception", "StopIteration", "AttributeError", "KeyError",
+}
+
+#: Free names that make generated data-path code nondeterministic.
+_FORBIDDEN_FREE = {
+    "hash", "time", "random", "datetime", "uuid", "os", "secrets",
+    "urandom", "globals", "locals", "eval", "exec", "compile",
+    "__import__",
+}
+
+#: (plan field, source marker, reverse direction too?) — RP504.  A
+#: forward check asserts the marker appears when the field is set; a
+#: bidirectional one additionally asserts it is absent when unset.
+_PLAN_MARKERS: Tuple[Tuple[str, str, bool], ...] = (
+    ("tm", "_tm_gate_cells", True),
+    ("local", "local_addrs", True),
+    ("bounded", "MAXR", True),
+    ("clock", "record.ref = True", False),
+)
+
+
+def _function_node(source: str) -> Optional[ast.FunctionDef]:
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    return None
+
+
+def _bound_names(fn_node: ast.FunctionDef) -> Set[str]:
+    args = fn_node.args
+    bound = {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    bound.add(fn_node.name)
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(node.name)
+    return bound
+
+
+def _free_names(fn_node: ast.FunctionDef) -> Dict[str, int]:
+    """Free (load-context, never-bound) names -> first line referenced."""
+    bound = _bound_names(fn_node)
+    free: Dict[str, int] = {}
+    for node in ast.walk(fn_node):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id not in bound
+            and node.id not in free
+        ):
+            free[node.id] = node.lineno
+    return free
+
+
+def audit_loop_source(
+    source: str,
+    namespace: Dict[str, object],
+    plan: Optional[dict] = None,
+    subject: str = "compiled batch loop",
+) -> List[Diagnostic]:
+    """RP501/502/503/504 over one generated loop's source text."""
+    diagnostics: List[Diagnostic] = []
+    fn_node = _function_node(source)
+    if fn_node is None:
+        diagnostics.append(
+            Diagnostic(
+                "RP504",
+                "generated source contains no function definition",
+                subject=subject,
+                hint="the emitter must produce exactly one _batch_loop def",
+            )
+        )
+        return diagnostics
+
+    # RP501 / RP502 — free-name discipline.
+    for name, line in sorted(_free_names(fn_node).items()):
+        if name in _FORBIDDEN_FREE:
+            diagnostics.append(
+                Diagnostic(
+                    "RP502",
+                    f"generated code references {name!r}: nondeterministic "
+                    "or environment-dependent in a compiled data-path loop",
+                    subject=subject,
+                    file="<repro.core.batch>",
+                    line=line,
+                    hint="the emitter must derive everything from the "
+                    "router state captured in the namespace",
+                )
+            )
+        elif name not in namespace and name not in _SAFE_BUILTINS:
+            diagnostics.append(
+                Diagnostic(
+                    "RP501",
+                    f"free name {name!r} resolves neither to the compile "
+                    "namespace nor to a safe builtin; at run time it is a "
+                    "NameError (or worse, a shadowed builtin)",
+                    subject=subject,
+                    file="<repro.core.batch>",
+                    line=line,
+                    hint="add the object to the _compile namespace "
+                    "allowlist or stop emitting the reference",
+                )
+            )
+
+    # RP503 — every fault handler must resume or classify.
+    handlers = [
+        node for node in ast.walk(fn_node)
+        if isinstance(node, ast.ExceptHandler)
+    ]
+    if not handlers:
+        diagnostics.append(
+            Diagnostic(
+                "RP503",
+                "generated loop has no fault handler at all; a plugin "
+                "exception would unwind the whole batch instead of being "
+                "charged to the faulting plugin's domain",
+                subject=subject,
+                hint="every emitted plugin call must sit inside a "
+                "try/except that splits or classifies the fault",
+            )
+        )
+    for handler in handlers:
+        if not _handler_resumes(handler):
+            diagnostics.append(
+                Diagnostic(
+                    "RP503",
+                    "generated fault handler neither resumes via a "
+                    "_split_* helper nor classifies via on_fault nor "
+                    "re-raises",
+                    subject=subject,
+                    file="<repro.core.batch>",
+                    line=handler.lineno,
+                    hint="faults must re-enter the scalar path with the "
+                    "batch's residue (the _split_* contract)",
+                )
+            )
+
+    # RP504 — plan/source coherence.
+    if plan is not None:
+        diagnostics.extend(_audit_plan_markers(source, plan, subject))
+    return diagnostics
+
+
+def _handler_resumes(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name is not None and (
+                name.startswith("_split_") or name == "on_fault"
+            ):
+                return True
+    return False
+
+
+def _audit_plan_markers(source: str, plan: dict, subject: str) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    def bad(field: str, detail: str) -> None:
+        diagnostics.append(
+            Diagnostic(
+                "RP504",
+                f"specialization key field {field!r} is not reflected in "
+                f"the generated source: {detail}",
+                subject=subject,
+                hint="the loop cache key and the emitter disagree; the "
+                "cache would serve a loop compiled for a different "
+                "configuration",
+            )
+        )
+
+    for field, marker, bidirectional in _PLAN_MARKERS:
+        present = marker in source
+        if plan.get(field) and not present:
+            bad(field, f"plan sets {field} but {marker!r} never appears")
+        elif bidirectional and not plan.get(field) and present:
+            bad(field, f"plan clears {field} but {marker!r} appears")
+    if plan.get("fused"):
+        if "on_fault" not in source:
+            bad("fused", "fused loops must classify faults via on_fault")
+    elif "_split_" not in source:
+        bad("fused", "non-fused loops must resume faults via _split_*")
+    if plan.get("hooks") and "for hook in HOOKS" not in source:
+        bad("hooks", "batch hooks registered but never dispatched")
+    if not plan.get("plain") and "iface.output(packet, now)" not in source:
+        bad("plain", "non-plain interfaces must emit via iface.output()")
+    for gate_entry in plan.get("pre") or ():
+        gate_name = gate_entry[0] if isinstance(gate_entry, tuple) else gate_entry
+        if f"'{gate_name}'" not in source and f'"{gate_name}"' not in source:
+            bad("pre", f"active pre gate {gate_name!r} never referenced")
+    return diagnostics
+
+
+def audit_loop(fn, subject: str = "compiled batch loop") -> List[Diagnostic]:
+    """Audit one cached compiled loop via its introspection attributes."""
+    source = getattr(fn, "_source", None)
+    plan = getattr(fn, "_plan", None)
+    if source is None:
+        return [
+            Diagnostic(
+                "RP504",
+                "compiled loop carries no _source introspection attribute; "
+                "it cannot be audited",
+                subject=subject,
+                hint="_compile must attach fn._source and fn._plan",
+            )
+        ]
+    return audit_loop_source(
+        source, fn.__globals__, plan=plan, subject=subject
+    )
+
+
+# ----------------------------------------------------------------------
+# Compiled lookup structures (RP505)
+# ----------------------------------------------------------------------
+def audit_dag_table(table, subject: str = "filter table") -> List[Diagnostic]:
+    """Shape invariants of the DAG's compiled root (repro.aiu.dag)."""
+    from ..aiu.dag import _C_EXACT, _C_PREFIX, _C_RANGE
+
+    diagnostics: List[Diagnostic] = []
+
+    def bad(detail: str) -> None:
+        diagnostics.append(
+            Diagnostic(
+                "RP505",
+                f"compiled DAG structure violated: {detail}",
+                subject=subject,
+                hint="re-run analyze after reproducing; this is a "
+                "_compile_node bug, not a configuration problem",
+            )
+        )
+
+    table.ensure_compiled()
+    if table._compiled_epoch != table.epoch:
+        bad(
+            f"ensure_compiled left epoch {table._compiled_epoch} != "
+            f"table epoch {table.epoch}"
+        )
+        return diagnostics
+    root = table._compiled_root
+    if table.records() and root is None:
+        bad("table has records but compiled root is None")
+        return diagnostics
+
+    seen: Set[int] = set()
+
+    def walk(node) -> None:
+        if node is None or id(node) in seen:
+            return
+        seen.add(id(node))
+        if not (
+            isinstance(node, tuple)
+            and len(node) == 3
+            and node[0] in (_C_PREFIX, _C_RANGE, _C_EXACT)
+        ):
+            return  # leaf FilterRecord
+        kind, a, b = node
+        if kind == _C_PREFIX:
+            shifts = [shift for shift, _ in a]
+            if shifts != sorted(shifts) or len(set(shifts)) != len(shifts):
+                bad(
+                    "prefix tables are not strictly longest-first "
+                    f"(shifts {shifts})"
+                )
+            for _, children in a:
+                for child in children.values():
+                    walk(child)
+        elif kind == _C_RANGE:
+            boundaries = list(a)
+            if boundaries != sorted(boundaries):
+                bad(f"range boundaries unsorted ({boundaries[:8]}...)")
+            if len(b) != len(boundaries) + 1:
+                bad(
+                    f"range node has {len(boundaries)} boundaries but "
+                    f"{len(b)} children (must be boundaries+1)"
+                )
+            for child in b:
+                walk(child)
+        else:
+            for child in a.values():
+                walk(child)
+            walk(b)
+
+    walk(root)
+    return diagnostics
+
+
+def audit_engine(engine, subject: str = "bmp engine") -> List[Diagnostic]:
+    """Shape invariants of a BMP engine's per-length fast tables."""
+    diagnostics: List[Diagnostic] = []
+
+    def bad(detail: str) -> None:
+        diagnostics.append(
+            Diagnostic(
+                "RP505",
+                f"compiled BMP fast-table structure violated: {detail}",
+                subject=subject,
+                hint="re-run analyze after reproducing; this is a "
+                "_compile_fast bug, not a configuration problem",
+            )
+        )
+
+    engine.lookup_entry_fast(0)  # force a (re)compile
+    if engine._fast_epoch != engine.mutation_epoch:
+        bad(
+            f"fast tables left at epoch {engine._fast_epoch} != "
+            f"mutation epoch {engine.mutation_epoch}"
+        )
+        return diagnostics
+    shifts = [shift for shift, _ in engine._fast_tables]
+    if shifts != sorted(shifts) or len(set(shifts)) != len(shifts):
+        bad(f"per-length tables are not strictly longest-first ({shifts})")
+    compiled = sum(len(t) for _, t in engine._fast_tables)
+    interpreted = len(
+        {(p.length, p.key_bits()) for p, _ in engine.entries()}
+    )
+    if compiled != interpreted:
+        bad(
+            f"fast tables hold {compiled} entries but the engine holds "
+            f"{interpreted}"
+        )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Router-level entry point
+# ----------------------------------------------------------------------
+def audit_router_codegen(
+    router, warm: bool = True, subject_prefix: str = ""
+) -> List[Diagnostic]:
+    """Audit every cached compiled loop on a router plus its compiled
+    lookup structures.  With ``warm=True`` the current plan's loop is
+    compiled first, so a freshly configured router is never vacuously
+    clean."""
+    from ..core.batch import loop_for
+
+    diagnostics: List[Diagnostic] = []
+    if warm:
+        refresh = getattr(router, "_refresh_plan", None)
+        if refresh is not None:
+            refresh()
+        loop_for(router)  # may be None (unspecialized config): that is fine
+    for index, (key, fn) in enumerate(
+        sorted(getattr(router, "_batch_loops", {}).items(), key=lambda kv: repr(kv[0]))
+    ):
+        plan = getattr(fn, "_plan", None) or {}
+        if plan.get("fused"):
+            shape = "fused"
+        elif plan.get("pre"):
+            shape = "lanes"
+        else:
+            shape = "single"
+        diagnostics.extend(
+            audit_loop(
+                fn,
+                subject=f"{subject_prefix}batch loop #{index} ({shape})",
+            )
+        )
+    for (gate, width), table in sorted(
+        getattr(router.aiu, "_tables", {}).items(),
+        key=lambda item: (item[0][0], item[0][1]),
+    ):
+        if hasattr(table, "ensure_compiled"):
+            diagnostics.extend(
+                audit_dag_table(
+                    table,
+                    subject=f"{subject_prefix}{gate}/{width}-bit table",
+                )
+            )
+    for width, engine in sorted(
+        getattr(router.routing_table, "_engines", {}).items()
+    ):
+        if hasattr(engine, "entries") and hasattr(engine, "lookup_entry_fast"):
+            diagnostics.extend(
+                audit_engine(
+                    engine,
+                    subject=f"{subject_prefix}routing/{width}-bit engine",
+                )
+            )
+    return diagnostics
+
+
+def audit_codegen(router) -> AnalysisReport:
+    """Report-typed convenience wrapper around audit_router_codegen."""
+    return AnalysisReport(audit_router_codegen(router))

@@ -41,9 +41,22 @@ CODES: Dict[str, Tuple[str, str]] = {
     "RP207": (WARNING, "metric emission bypasses the telemetry registry"),
     "RP208": (WARNING, "per-packet recomputation of loop-invariant work in a batch hook"),
     "RP209": (ERROR, "process-seeded builtin hash() on packet/flow state"),
+    "RP210": (WARNING, "suppression names an unknown diagnostic code"),
     # RP3xx — compiled/interpreted equivalence (repro.analysis.equivalence).
     "RP301": (ERROR, "compiled DAG walk diverges from interpreted matchers"),
     "RP302": (ERROR, "compiled BMP lookup diverges from engine lookup"),
+    # RP4xx — shard-safety / concurrency (repro.analysis.concurrency).
+    "RP401": (ERROR, "module-global mutable state written from a data-path hook"),
+    "RP402": (ERROR, "class-attribute state shared across instances mutated on the data path"),
+    "RP403": (ERROR, "fork/codec-hostile instance state (file, socket, lock, thread, generator)"),
+    "RP404": (WARNING, "query payload not mergeable by cross-shard aggregation"),
+    "RP405": (WARNING, "control-command effect depends on shard-local traffic state"),
+    # RP5xx — exec-codegen audit (repro.analysis.codegen_audit).
+    "RP501": (ERROR, "compiled loop references a name outside its allowlisted closure"),
+    "RP502": (ERROR, "nondeterministic builtin in generated data-path code"),
+    "RP503": (ERROR, "generated fault handler lacks a split/resume path"),
+    "RP504": (ERROR, "compiled loop source does not reflect its specialization key"),
+    "RP505": (ERROR, "compiled lookup structure violates its shape invariants"),
 }
 
 
@@ -83,6 +96,16 @@ def is_suppressed(code: str, source_line: str) -> bool:
     if codes is None:
         return False
     return not codes or code in codes
+
+
+def unknown_suppressed_codes(source_line: str) -> Set[str]:
+    """Codes a ``# rp: ignore[...]`` comment names that do not exist in
+    the registry — a typo there silently fails to suppress anything, so
+    the hot-path lint flags it (RP210)."""
+    codes = suppressed_codes(source_line)
+    if not codes:
+        return set()
+    return {code for code in codes if code not in CODES}
 
 
 @dataclass
@@ -177,6 +200,65 @@ class AnalysisReport:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def to_sarif(self, tool_name: str = "repro-analyze") -> Dict[str, object]:
+        """SARIF 2.1.0 rendering: one rule per registry code (the rule
+        set is stable, not just the codes that fired), one result per
+        diagnostic.  CI uploads this for inline annotations."""
+        level_of = {ERROR: "error", WARNING: "warning", INFO: "note"}
+        codes = sorted(CODES)
+        index = {code: i for i, code in enumerate(codes)}
+        rules: List[Dict[str, object]] = [
+            {
+                "id": code,
+                "shortDescription": {"text": CODES[code][1]},
+                "defaultConfiguration": {"level": level_of[CODES[code][0]]},
+            }
+            for code in codes
+        ]
+        results: List[Dict[str, object]] = []
+        for d in self.diagnostics:
+            text = d.message if not d.hint else f"{d.message} (hint: {d.hint})"
+            result: Dict[str, object] = {
+                "ruleId": d.code,
+                "ruleIndex": index[d.code],
+                "level": level_of[d.severity],
+                "message": {"text": text},
+            }
+            location: Dict[str, object] = {}
+            if d.file is not None:
+                physical: Dict[str, object] = {
+                    "artifactLocation": {"uri": d.file}
+                }
+                if d.line is not None:
+                    physical["region"] = {"startLine": d.line}
+                location["physicalLocation"] = physical
+            if d.subject:
+                location["logicalLocations"] = [
+                    {"fullyQualifiedName": d.subject}
+                ]
+            if location:
+                result["locations"] = [location]
+            results.append(result)
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": tool_name,
+                            "informationUri": "docs/STATIC_ANALYSIS.md",
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+
+    def to_sarif_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_sarif(), indent=indent)
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)

@@ -348,7 +348,7 @@ def analyze_filterset(aiu: object) -> AnalysisReport:
                         f"filter {record.filter} at gate {record.gate!r} is "
                         f"redundant: wherever it wins, {covering.filter} "
                         "already binds the same instance "
-                        f"({record.instance.name if hasattr(record.instance, 'name') else record.instance!r})",
+                        f"({getattr(record.instance, 'name', None) or record.instance!r})",
                         subject=_filter_id(record),
                         hint="remove the narrower filter unless it exists "
                         "for priority or accounting reasons",

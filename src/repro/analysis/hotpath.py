@@ -51,7 +51,12 @@ import textwrap
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.plugin import PluginInstance
-from .diagnostics import AnalysisReport, Diagnostic, is_suppressed
+from .diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    is_suppressed,
+    unknown_suppressed_codes,
+)
 
 #: Data-path root methods, per the plugin/scheduler contracts.
 ROOT_METHODS = ("process", "enqueue", "dequeue", "on_flow_created", "on_flow_removed")
@@ -154,6 +159,28 @@ class _FunctionLint:
                 if slots is not None:
                     self._check_slots_assign(node, slots)
                 self._check_metric_assign(node)
+        self._check_suppressions()
+
+    def _check_suppressions(self) -> None:
+        """RP210: a ``# rp: ignore[...]`` comment naming a code that does
+        not exist suppresses nothing — usually a typo that leaves the
+        author believing a finding is handled."""
+        for offset, line in enumerate(self.lines):
+            unknown = sorted(unknown_suppressed_codes(line))
+            if not unknown or is_suppressed("RP210", line):
+                continue
+            self.diagnostics.append(
+                Diagnostic(
+                    "RP210",
+                    "suppression names unknown diagnostic code(s) "
+                    f"{', '.join(unknown)}; nothing is suppressed",
+                    subject=self._subject(),
+                    file=self.file,
+                    line=self.start + offset,
+                    hint="valid codes are listed in docs/STATIC_ANALYSIS.md; "
+                    "fix the typo or drop the comment",
+                )
+            )
 
     # ------------------------------------------------------------------
     def _check_call(self, node: ast.Call) -> None:

@@ -1,9 +1,11 @@
-"""Analysis entry points: whole-router, pmgr-script, and self-lint runs.
+"""Analysis entry points: whole-router, sharded, script, and self-lint.
 
 ``analyze_router`` is what ``pmgr analyze`` and ``scripts/analyze.py``
-call: the filter-set semantic analysis over the AIU, the hot-path lint
-over every loaded plugin, and the compiled/interpreted equivalence
-verification over every filter table and BMP-backed routing engine.
+call: the filter-set semantic analysis over the AIU, the hot-path and
+shard-safety lints over every loaded plugin, the compiled/interpreted
+equivalence verification over every filter table and BMP-backed routing
+engine, and the exec-codegen audit over every cached compiled batch
+loop.  ``analyze_sharded`` sweeps all shards of a ``ShardedRouter``.
 Everything runs from the control path and charges zero modelled cost.
 """
 
@@ -11,6 +13,13 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .codegen_audit import audit_router_codegen
+from .concurrency import (
+    audit_query_mergeability,
+    lint_builtin_concurrency,
+    lint_plugins_concurrency,
+    lint_shard_concurrency,
+)
 from .diagnostics import AnalysisReport
 from .equivalence import verify_aiu, verify_engine
 from .filterset import analyze_filterset
@@ -18,17 +27,60 @@ from .hotpath import lint_builtin_plugins, lint_plugins, lint_shard_dispatch
 
 
 def analyze_router(router, include_plugins: bool = True) -> AnalysisReport:
-    """Run all three analyzers against one live router."""
+    """Run every analyzer against one live router."""
     report = AnalysisReport()
     report.extend(analyze_filterset(router.aiu))
     if include_plugins:
-        report.extend(lint_plugins(router.pcu.plugins()))
+        plugins = router.pcu.plugins()
+        report.extend(lint_plugins(plugins))
+        report.extend(lint_plugins_concurrency(plugins))
     report.extend(verify_aiu(router.aiu))
     for width, engine in sorted(getattr(router.routing_table, "_engines", {}).items()):
         if hasattr(engine, "entries") and hasattr(engine, "lookup_entry_fast"):
             report.extend(
                 verify_engine(engine, subject=f"routing/{width}-bit engine")
             )
+    report.extend(audit_router_codegen(router))
+    return report
+
+
+def analyze_sharded(
+    sharded, libraries=None, include_plugins: bool = True
+) -> AnalysisReport:
+    """Sweep every shard of a ``ShardedRouter``: plugin lints once (the
+    fanout keeps shard configuration identical), filter-set semantics on
+    shard 0, then per-shard equivalence and codegen audits (per-shard
+    state *can* diverge — that is the point), plus the RP404 query
+    mergeability audit when the per-shard libraries are available."""
+    from ..core.errors import ConfigurationError
+
+    if getattr(sharded, "_pool", None) is not None:
+        raise ConfigurationError(
+            "analyze_sharded needs the inline backend (worker processes "
+            "cannot ship live analysis objects back)"
+        )
+    report = AnalysisReport()
+    shard0 = sharded.shards[0]
+    report.extend(analyze_filterset(shard0.aiu))
+    if include_plugins:
+        plugins = shard0.pcu.plugins()
+        report.extend(lint_plugins(plugins))
+        report.extend(lint_plugins_concurrency(plugins))
+    for index, shard in enumerate(sharded.shards):
+        prefix = f"shard{index}: "
+        report.extend(verify_aiu(shard.aiu))
+        for width, engine in sorted(
+            getattr(shard.routing_table, "_engines", {}).items()
+        ):
+            if hasattr(engine, "entries") and hasattr(engine, "lookup_entry_fast"):
+                report.extend(
+                    verify_engine(
+                        engine, subject=f"{prefix}routing/{width}-bit engine"
+                    )
+                )
+        report.extend(audit_router_codegen(shard, subject_prefix=prefix))
+    if libraries:
+        report.extend(audit_query_mergeability(libraries[0].query))
     return report
 
 
@@ -62,10 +114,46 @@ def _script_diagnostic(error):
     )
 
 
+def _self_codegen_audit() -> List:
+    """Warm each generated loop shape (single, lanes, fused) on a
+    scratch router and audit it, so the self-lint gate exercises the
+    RP5xx checks against real emitter output on every CI run."""
+    from ..core.gates import DEFAULT_GATES, GATE_IP_SECURITY
+    from ..core.router import Router
+    from ..mgr.library import RouterPluginLibrary
+    from ..net.packet import make_udp
+
+    diagnostics: List = []
+    for shape, max_flows, with_plugin in (
+        ("single", None, False),
+        ("lanes", None, True),
+        ("fused", 64, True),
+    ):
+        router = Router(
+            name=f"self-lint-{shape}", gates=DEFAULT_GATES, max_flows=max_flows
+        )
+        router.add_interface("atm0", prefix="10.0.0.0/8")
+        router.add_interface("atm1", prefix="20.0.0.0/8")
+        if with_plugin:
+            library = RouterPluginLibrary(router)
+            library.modload("firewall")
+            library.create_instance("firewall", "fw0")
+            library.bind("fw0", "*, *, UDP", gate=GATE_IP_SECURITY)
+        router.receive_batch(
+            [make_udp("10.0.0.1", "20.0.1.1", 5000, 9000, iif="atm0")]
+        )
+        diagnostics.extend(
+            audit_router_codegen(router, subject_prefix=f"self-lint {shape}: ")
+        )
+    return diagnostics
+
+
 def self_lint(engine_names: Optional[List[str]] = None) -> AnalysisReport:
-    """The CI self-check: lint every built-in plugin, then build a small
-    seeded filter table per BMP engine and verify compiled/interpreted
-    equivalence for the DAG and the engines themselves."""
+    """The CI self-check: lint every built-in plugin (hot-path and
+    shard-safety passes), sweep the shard/batch layers themselves, warm
+    and audit every generated loop shape, then build a small seeded
+    filter table per BMP engine and verify compiled/interpreted
+    equivalence for the DAG and the engines."""
     from ..aiu.dag import DagFilterTable
     from ..aiu.matchers import AmbiguousFilterError
     from ..aiu.records import FilterRecord
@@ -76,7 +164,10 @@ def self_lint(engine_names: Optional[List[str]] = None) -> AnalysisReport:
 
     report = AnalysisReport()
     report.extend(lint_builtin_plugins())
+    report.extend(lint_builtin_concurrency())
     report.extend(lint_shard_dispatch())
+    report.extend(lint_shard_concurrency())
+    report.extend(_self_codegen_audit())
     names = engine_names or sorted(set(ENGINES))
     filters = random_filters(64, seed=7, host_fraction=0.5)
     for name in names:

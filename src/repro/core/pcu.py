@@ -38,26 +38,32 @@ class PluginControlUnit:
         """Register a plugin's callback; returns its 32-bit plugin code.
 
         With ``strict=True`` the plugin's data-path methods are run
-        through the hot-path lint first (:mod:`repro.analysis.hotpath`)
+        through the hot-path lint (:mod:`repro.analysis.hotpath`) and
+        the shard-safety lint (:mod:`repro.analysis.concurrency`) first,
         and any error-severity finding refuses the load *before* the
         PCU tables are touched — a misbehaving module never becomes
-        reachable from the fast path.
+        reachable from the fast path or replicated into a shard.
         """
         if plugin.name in self._by_name:
             raise PluginError(f"plugin {plugin.name!r} is already loaded")
         if plugin.plugin_type <= 0:
             raise PluginError(f"plugin {plugin.name!r} has no plugin_type")
         if strict:
+            from ..analysis.concurrency import lint_plugin_concurrency
             from ..analysis.hotpath import lint_plugin
 
-            findings = [d for d in lint_plugin(plugin) if d.severity == "error"]
+            findings = [
+                d
+                for d in (*lint_plugin(plugin), *lint_plugin_concurrency(plugin))
+                if d.severity == "error"
+            ]
             if findings:
                 detail = "; ".join(
                     f"{d.code} at {d.location()}" for d in findings[:4]
                 )
                 raise PluginError(
-                    f"plugin {plugin.name!r} failed strict hot-path lint "
-                    f"({len(findings)} errors: {detail})"
+                    f"plugin {plugin.name!r} failed strict hot-path/"
+                    f"shard-safety lint ({len(findings)} errors: {detail})"
                 )
         next_id = self._next_id.get(plugin.plugin_type, 1)
         code = plugin_code(plugin.plugin_type, next_id)

@@ -75,9 +75,15 @@ class RouterPluginLibrary:
     def __init__(self, router: Router):
         self.router = router
         self._instances: Dict[str, PluginInstance] = {}
-        # (aiu.plan_epoch at analysis time, AnalysisReport); purely
-        # control-path state — the data path never reads it.
+        # (aiu.plan_epoch, _config_revision at analysis time,
+        # AnalysisReport); purely control-path state — the data path
+        # never reads it.  plan_epoch only moves on filter changes, so
+        # configuration calls that do not touch filters (modload,
+        # create, scheduler changes — exactly what a sharded fanout
+        # replays per shard) bump the revision counter instead; the
+        # cache is stale when either component moved.
         self._analysis_cache: Optional[tuple] = None
+        self._config_revision = 0
 
     # ------------------------------------------------------------------
     # modload / modunload
@@ -93,6 +99,7 @@ class RouterPluginLibrary:
             )
         plugin = plugin_class()
         self.router.pcu.load(plugin)
+        self._config_revision += 1
         return plugin
 
     def modunload(self, name: str) -> None:
@@ -101,6 +108,7 @@ class RouterPluginLibrary:
             key: inst for key, inst in self._instances.items()
             if inst.plugin.name != name
         }
+        self._config_revision += 1
 
     # ------------------------------------------------------------------
     # Instance lifecycle
@@ -111,12 +119,14 @@ class RouterPluginLibrary:
             raise ConfigurationError(f"duplicate instance name {instance_name!r}")
         instance = plugin.create_instance(name=instance_name, **config)
         self._instances[instance_name] = instance
+        self._config_revision += 1
         return instance
 
     def free_instance(self, instance_name: str) -> None:
         instance = self.instance(instance_name)
         instance.plugin.free_instance(instance)
         del self._instances[instance_name]
+        self._config_revision += 1
 
     def instance(self, name: str) -> PluginInstance:
         try:
@@ -146,6 +156,7 @@ class RouterPluginLibrary:
     # ------------------------------------------------------------------
     def set_scheduler(self, interface: str, instance_name: str) -> None:
         self.router.set_scheduler(interface, self.instance(instance_name))
+        self._config_revision += 1
 
     def add_route(self, prefix: str, interface: str, next_hop: Optional[str] = None) -> None:
         self.router.routing_table.add(prefix, interface, next_hop=next_hop)
@@ -339,20 +350,33 @@ class RouterPluginLibrary:
     # ------------------------------------------------------------------
     def analyze(self, include_plugins: bool = True):
         """Run the static analyzers over this router and cache the report
-        keyed on the AIU plan epoch, so ``show aiu`` can report analysis
-        freshness without re-walking anything."""
-        from ..analysis import analyze_router
+        keyed on (AIU plan epoch, configuration revision), so ``show
+        aiu`` can report analysis freshness without re-walking anything
+        — and so fanout configuration ops that never touch a filter
+        (modload/create through a ShardedPluginLibrary) still invalidate
+        it."""
+        from ..analysis import analyze_router, audit_query_mergeability
 
         report = analyze_router(self.router, include_plugins=include_plugins)
-        self._analysis_cache = (self.router.aiu.plan_epoch, report)
+        report.extend(audit_query_mergeability(self.query))
+        self._analysis_cache = (
+            self.router.aiu.plan_epoch,
+            self._config_revision,
+            report,
+        )
         return report
 
     def _analysis_status(self) -> str:
         if self._analysis_cache is None:
             return "never"
-        epoch, report = self._analysis_cache
+        epoch, revision, report = self._analysis_cache
         if epoch != self.router.aiu.plan_epoch:
             return f"stale (filters changed since epoch {epoch}; rerun analyze)"
+        if revision != self._config_revision:
+            return (
+                f"stale (configuration changed since revision {revision}; "
+                "rerun analyze)"
+            )
         counts = report.counts()
         return f"{len(report)} findings ({counts['error']} errors)"
 

@@ -233,10 +233,32 @@ class ShardedPluginLibrary:
             manager.run_script(text)
 
     def analyze(self, include_plugins: bool = True):
-        """Static analysis on shard 0 (shards are configured identically)."""
-        if not self.libraries:
-            raise ConfigurationError("analyze needs the inline backend")
-        return self.libraries[0].analyze(include_plugins=include_plugins)
+        """Full sharded sweep: plugin lints once (fanout keeps shards
+        identically configured), per-shard equivalence + codegen audits,
+        and the RP404 query-mergeability audit.  Inline backend only —
+        worker processes cannot ship live analysis objects back."""
+        if not self.libraries or self.sharded._pool is not None:
+            raise ConfigurationError(
+                "analyze needs the inline backend (worker processes "
+                "cannot ship live analysis objects back)"
+            )
+        from ..analysis import analyze_sharded
+
+        report = analyze_sharded(
+            self.sharded,
+            libraries=self.libraries,
+            include_plugins=include_plugins,
+        )
+        # Seed every shard's freshness cache — the sweep audited each
+        # shard, so each shard's ``show aiu`` reports it instead of
+        # "never"/"stale".
+        for shard_library in self.libraries:
+            shard_library._analysis_cache = (
+                shard_library.router.aiu.plan_epoch,
+                shard_library._config_revision,
+                report,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Aggregated queries

@@ -81,7 +81,7 @@ def _worker_main(index: int, factory: Callable, work_r, result_w, null_path: boo
             try:
                 manager.run_script(msg[1])
                 result_w.send(("ok", None))
-            except Exception as exc:  # noqa: BLE001  # rp: ignore[RP206] — control plane: report, don't die
+            except Exception as exc:  # noqa: BLE001  # rp: ignore[RP206]
                 result_w.send(("err", f"{type(exc).__name__}: {exc}"))
         elif tag == "query":
             try:

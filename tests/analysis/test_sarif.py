@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 output: structure, stable rule registry coverage, and
+the analyze.py CLI's --sarif mode (exit-code contract unchanged)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import CODES, AnalysisReport, Diagnostic, severity_of
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _report_with_findings():
+    report = AnalysisReport()
+    report.add(
+        Diagnostic(
+            "RP401",
+            "writes into module-level mutable global 'SEEN'",
+            subject="Foo.process",
+            file="plugins/foo.py",
+            line=42,
+            hint="move the state onto the instance",
+        )
+    )
+    report.add(Diagnostic("RP404", "query topic 'flows' carries a list"))
+    return report
+
+
+def test_sarif_structure_and_results():
+    sarif = _report_with_findings().to_sarif()
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-analyze"
+    results = run["results"]
+    assert len(results) == 2
+    first = results[0]
+    assert first["ruleId"] == "RP401"
+    assert first["level"] == "error"
+    assert "(hint:" in first["message"]["text"]
+    location = first["locations"][0]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "plugins/foo.py"
+    assert physical["region"]["startLine"] == 42
+    assert (
+        location["logicalLocations"][0]["fullyQualifiedName"] == "Foo.process"
+    )
+    # The unanchored finding carries no physicalLocation.
+    second = results[1]
+    assert second["ruleId"] == "RP404"
+    assert second["level"] == "warning"
+
+
+def test_sarif_rules_cover_every_registered_code():
+    sarif = AnalysisReport().to_sarif()
+    rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+    rule_ids = [rule["id"] for rule in rules]
+    assert rule_ids == sorted(CODES)
+    level_of = {"error": "error", "warning": "warning", "info": "note"}
+    for rule in rules:
+        expected = level_of[severity_of(rule["id"])]
+        assert rule["defaultConfiguration"]["level"] == expected
+    # ruleIndex in results must point into this stable table.
+    report = _report_with_findings()
+    results = report.to_sarif()["runs"][0]["results"]
+    for result in results:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_to_sarif_json_is_valid_json():
+    parsed = json.loads(_report_with_findings().to_sarif_json())
+    assert parsed["runs"][0]["results"]
+
+
+def _run_cli(*args, script_text=None, tmp_path=None):
+    argv = [sys.executable, str(REPO / "scripts" / "analyze.py"), *args]
+    if script_text is not None:
+        script = tmp_path / "conf.pmgr"
+        script.write_text(script_text)
+        argv.append(str(script))
+    return subprocess.run(argv, capture_output=True, text=True, cwd=REPO)
+
+
+def test_cli_sarif_clean_script_exits_zero(tmp_path):
+    proc = _run_cli(
+        "--sarif", script_text="modload firewall\n", tmp_path=tmp_path
+    )
+    assert proc.returncode == 0, proc.stderr
+    sarif = json.loads(proc.stdout)
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"] == []
+
+
+def test_cli_sarif_findings_exit_one(tmp_path):
+    # A script error surfaces as RP107 (warning): gate only with --strict.
+    proc = _run_cli(
+        "--sarif", script_text="modload no_such_plugin\n", tmp_path=tmp_path
+    )
+    assert proc.returncode == 0
+    sarif = json.loads(proc.stdout)
+    results = sarif["runs"][0]["results"]
+    assert any(r["ruleId"] == "RP107" for r in results)
+
+    strict = _run_cli(
+        "--sarif", "--strict",
+        script_text="modload no_such_plugin\n", tmp_path=tmp_path,
+    )
+    assert strict.returncode == 1
+    assert json.loads(strict.stdout)["runs"][0]["results"]
+
+
+def test_cli_usage_error_still_exits_two():
+    proc = _run_cli("--sarif")
+    assert proc.returncode == 2

@@ -410,3 +410,34 @@ def test_on_batch_start_must_not_change_behavior():
     # differential still held.
     instance = next(iter(batched._batch_loops.values()))._plan["hooks"]
     assert instance  # the compiled loop discovered the hook
+
+
+def test_warmed_pipeline_passes_codegen_audit():
+    """Satellite of the static-analysis PR: after real traffic warms all
+    three loop shapes (single, lanes, fused) plus the compiled filter
+    tables and routing engines, the RP5xx exec-codegen audit must report
+    zero findings — the emitter's live output is the fixture."""
+    from repro.analysis import audit_router_codegen
+
+    routers = []
+    single = _build("audit-single")
+    routers.append(single)
+    lanes = _build("audit-lanes")
+    _bind(lanes, _PortFilterPlugin)
+    routers.append(lanes)
+    fused = _build("audit-fused", max_flows=64)
+    _bind(fused, _PortFilterPlugin)
+    routers.append(fused)
+    workload = _mixed_workload()
+    shapes = set()
+    for router in routers:
+        for start in range(0, len(workload), 7):
+            router.receive_batch(workload[start:start + 7])
+        assert router._batch_loops
+        for fn in router._batch_loops.values():
+            plan = fn._plan
+            shapes.add(
+                "fused" if plan["fused"] else ("lanes" if plan["pre"] else "single")
+            )
+        assert audit_router_codegen(router) == []
+    assert shapes == {"single", "lanes", "fused"}
