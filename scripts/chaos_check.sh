@@ -15,6 +15,11 @@
 # Exits non-zero if containment fails: a fault escapes the router, a
 # record fails to reconcile, a quarantine misbehaves, or the two data
 # paths diverge.
+#
+# Multi-hop containment — quarantine rerouting across an ECMP topology
+# and the seeded multi-hop attack soaks (IPsec spoofing, drop-action v6
+# options) — runs in the topo gate (scripts/ci_check.sh, tests/topo/),
+# which drives the same seeded scenarios through whole networks.
 
 set -eu
 

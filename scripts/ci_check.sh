@@ -30,9 +30,9 @@ python scripts/analyze.py --self-lint --sarif | python -m json.tool > /dev/null
 echo "ok: SARIF log is valid JSON"
 
 if command -v ruff >/dev/null 2>&1; then
-    echo "== ruff (analysis + shard + batch) =="
-    ruff check src/repro/analysis src/repro/shard src/repro/core/batch.py \
-        scripts/analyze.py
+    echo "== ruff (analysis + shard + topo + batch) =="
+    ruff check src/repro/analysis src/repro/shard src/repro/topo \
+        src/repro/core/batch.py scripts/analyze.py
 else
     echo "== ruff skipped (not installed) =="
 fi
@@ -52,7 +52,7 @@ echo "==== telemetry gate (pmgr --json schema) ===="
 PYTHONPATH=src python - <<'EOF' | python -m json.tool > /dev/null
 import json
 from repro import Router, PluginManager
-from repro.mgr.format import TOPICS
+from repro.mgr.format import topic_names
 from repro.net import make_udp
 
 lines = []
@@ -70,7 +70,7 @@ overload on sample_interval=8
 for i in range(32):
     router.receive(make_udp(f"10.0.0.{i % 4 + 1}", "20.0.0.1", 1000 + i, 9000, iif="atm0"))
 blobs = []
-for topic in TOPICS:
+for topic in topic_names():
     lines.clear()
     mgr.run_command(f"show {topic} --json")
     blobs.append(json.loads("\n".join(lines)))
@@ -98,5 +98,14 @@ echo "==== shard gate (sharded data-path differential suite) ===="
 # control-plane fanout, and the mp backend's bit-equality with inline
 # (tests/shard/, docs/PERFORMANCE.md "Sharded data path").
 PYTHONPATH=src python -m pytest -q -m shard tests/shard/
+
+echo "==== topo gate (multi-router topology suite) ===="
+# A topology of one node must be packet-for-packet the bare router, an
+# N-hop chain must equal the same hops run standalone, path traces must
+# match the data path hop for hop, and the four multi-hop scenarios
+# (IPsec tunnel, v6 options, H-FSC aggregation, quarantine reroute)
+# must hold their delivery invariants scalar and batched
+# (tests/topo/, docs/TOPOLOGY.md).
+PYTHONPATH=src python -m pytest -q -m topo tests/topo/
 
 echo "==== ci_check: all gates passed ===="

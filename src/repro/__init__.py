@@ -32,6 +32,7 @@ from .mgr import (
     PluginManager,
     RouterPluginLibrary,
     load_plugin,
+    register_topic,
     run_script,
 )
 from .net import IPAddress, NetworkInterface, Packet, Prefix, make_tcp, make_udp
@@ -45,6 +46,10 @@ from .telemetry import (
     NULL_REGISTRY,
     prometheus_text,
 )
+
+# Imported last: repro.topo composes routers from every layer above and
+# registers its management topics on import.
+from .topo import Link, PathTrace, PathTracer, Topology, TopologyPluginLibrary
 
 #: The paper's `pmgr` by its spoken name; identical to PluginManager.
 Pmgr = PluginManager
@@ -70,6 +75,7 @@ __all__ = [
     "Pmgr",
     "RouterPluginLibrary",
     "load_plugin",
+    "register_topic",
     "run_script",
     "IPAddress",
     "NetworkInterface",
@@ -89,6 +95,11 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "prometheus_text",
+    "Link",
+    "PathTrace",
+    "PathTracer",
+    "Topology",
+    "TopologyPluginLibrary",
     "__version__",
 ]
 

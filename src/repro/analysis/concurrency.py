@@ -91,12 +91,6 @@ _CONFIG_CALLS = {
     "set_fault_policy", "create_instance", "free_instance",
 }
 
-#: Query topics with bespoke mergers in ShardedPluginLibrary — exempt
-#: from the sum-merge payload shape rules.
-_SPECIAL_TOPICS = {
-    "plugins", "filters", "shards", "health", "telemetry", "overload",
-    "trace", "faults",
-}
 
 _LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()))
 _GENERATOR_TYPES = (
@@ -755,22 +749,30 @@ def _audit_payload(
             "numeric/bool/str leaves and nested dicts, so shards 1..N-1 "
             "would be silently dropped",
             subject=f"query({topic!r})",
-            hint="flatten the payload to mergeable leaves or add a "
-            "topic-specific merger to ShardedPluginLibrary",
+            hint="flatten the payload to mergeable leaves or register "
+            "the topic with a non-sum merge strategy",
         )
     )
 
 
 def audit_query_mergeability(query, topics=None) -> List[Diagnostic]:
     """RP404: validate each sum-merged query topic's payload shape
-    against ShardedPluginLibrary's aggregation rules.  ``query`` is a
-    ``query(topic, **filters) -> dict`` callable (a library's)."""
-    from ..mgr.format import TOPICS
+    against the aggregation rules the topic registry declares.
+    ``query`` is a ``query(topic, **filters) -> dict`` callable (a
+    library's).  Only topics registered with the ``"sum"`` merge
+    strategy are audited — every other strategy (bucketwise,
+    worst-wins, shard0, frontend, or a bespoke callable) owns its own
+    payload shape."""
+    from ..mgr.format import get_topic, strip_schema, topic_names
 
     diagnostics: List[Diagnostic] = []
-    for topic in topics if topics is not None else TOPICS:
-        if topic in _SPECIAL_TOPICS:
+    for topic in topics if topics is not None else topic_names():
+        try:
+            spec = get_topic(topic)
+        except KeyError:
             continue
-        payload = query(topic)
+        if spec.merge != "sum":
+            continue
+        payload = strip_schema(query(topic))
         _audit_payload(topic, payload, "", diagnostics)
     return diagnostics

@@ -1,6 +1,13 @@
 """User space: the Router Plugin Library and the pmgr Plugin Manager."""
 
-from .format import TOPICS, render_topic
+from .format import (
+    TopicSpec,
+    get_topic,
+    merge_topic,
+    register_topic,
+    render_topic,
+    topic_names,
+)
 from .library import (
     PLUGIN_REGISTRY,
     RouterPluginLibrary,
@@ -13,12 +20,31 @@ from .pmgr import PluginManager, main, run_script
 __all__ = [
     "PLUGIN_REGISTRY",
     "RouterPluginLibrary",
-    "TOPICS",
+    "TopicSpec",
+    "get_topic",
     "load_plugin",
+    "merge_topic",
     "parse_config_value",
+    "register_topic",
     "render_topic",
     "split_command",
+    "topic_names",
     "PluginManager",
     "main",
     "run_script",
 ]
+
+
+def __getattr__(name):
+    # ``TOPICS`` froze the topic set at import time; the registry is
+    # dynamic (repro.topo adds topics on import), so forward the shim to
+    # format's own deprecation hook.
+    if name == "TOPICS":
+        from . import format as _format
+
+        return _format.TOPICS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | {"TOPICS"} | set(globals()))

@@ -1,24 +1,343 @@
-"""Text formatters over :meth:`RouterPluginLibrary.query` results.
+"""The versioned management-API topic registry and its text formatters.
 
-Every ``pmgr show X`` text output is produced by rendering the
-structured query dict through :func:`render_topic` — the text view is a
-pure function of the JSON view, so the two can never drift (asserted
-topic-by-topic by ``tests/mgr/test_query_roundtrip.py``).
+Every ``pmgr show X`` topic is a :class:`TopicSpec` registered here via
+:func:`register_topic`: a structured query function, a text renderer, a
+schema version, and a cross-node merge strategy.  ``query()`` results
+carry a ``"schema": {"topic": ..., "version": N}`` envelope;  the text
+view is a pure function of the JSON view minus that envelope, so the two
+can never drift (asserted topic-by-topic by
+``tests/mgr/test_query_roundtrip.py``).
+
+Core topics are registered at import time; subsystems add their own the
+same way (``repro.topo`` registers ``topology`` and ``paths``), and
+``pmgr show <topic> --json``, the sharded/topology fanout libraries, and
+the ci_check.sh JSON-roundtrip gate pick new registrations up
+automatically.
+
+Merge strategies (the :class:`~repro.shard.control.ShardedPluginLibrary`
+and :class:`~repro.topo.control.TopologyPluginLibrary` aggregation
+rules, declared per topic instead of hardcoded per library):
+
+* ``"sum"`` — key-wise numeric sum, dicts recursed (flows, aiu).
+* ``"bucketwise"`` — counters/gauges summed, histograms merged
+  bucket-by-bucket (telemetry).
+* ``"worst-wins"`` — worst tier rung wins, window pressure is the
+  per-node max, counters summed, transitions time-sorted (overload).
+* ``"concat"`` — lists concatenated, numerics summed (paths).
+* ``"shard0"`` — configuration views identical across nodes by fanout
+  construction; node 0 answers (plugins, filters).
+* ``"frontend"`` — the fanout front end answers directly instead of
+  merging per-node payloads (health, shards, topology).
+* a callable ``merge(per_node: List[dict]) -> dict`` for bespoke
+  shapes (trace, faults).
+
+The pre-registry module surface (``TOPICS`` tuple, ``_RENDERERS`` dict)
+remains importable through deprecation shims that warn once; use
+:func:`topic_names` / :func:`get_topic` instead.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import warnings
+from typing import Callable, Dict, List, Tuple, Union
 
+from ..core.errors import ConfigurationError
 from ..core.faults import render_fault
+from ..core.overload import TIERS
 
-#: Topics ``query``/``show`` understand, in help order.
-TOPICS = (
-    "plugins", "filters", "flows", "aiu", "faults", "health",
-    "telemetry", "trace", "overload", "shards",
-)
+QueryFn = Union[str, Callable[..., dict]]
+Renderer = Callable[[dict], List[str]]
+MergeFn = Callable[[List[dict]], dict]
 
 
+class TopicSpec:
+    """One registered management topic: query + render + schema + merge."""
+
+    __slots__ = ("name", "query_fn", "renderer", "schema_version", "merge")
+
+    def __init__(
+        self,
+        name: str,
+        query_fn: QueryFn,
+        renderer: Renderer,
+        schema_version: int = 1,
+        merge: Union[str, MergeFn] = "sum",
+    ):
+        self.name = name
+        self.query_fn = query_fn
+        self.renderer = renderer
+        self.schema_version = schema_version
+        self.merge = merge
+
+    def run_query(self, library, **filters) -> dict:
+        """Run the topic's query against a library.  A string query_fn
+        names a library method (core topics); a callable receives the
+        library as its first argument (registered topics)."""
+        fn = self.query_fn
+        if isinstance(fn, str):
+            return getattr(library, fn)(**filters)
+        return fn(library, **filters)
+
+    def envelope(self) -> dict:
+        return {"topic": self.name, "version": self.schema_version}
+
+    def __repr__(self) -> str:
+        merge = self.merge if isinstance(self.merge, str) else "custom"
+        return (
+            f"TopicSpec({self.name!r}, v{self.schema_version}, "
+            f"merge={merge!r})"
+        )
+
+
+#: name -> TopicSpec, in registration (= help) order.
+_REGISTRY: Dict[str, TopicSpec] = {}
+
+
+def register_topic(
+    name: str,
+    query_fn: QueryFn,
+    renderer: Renderer,
+    schema_version: int = 1,
+    merge: Union[str, MergeFn] = "sum",
+    replace: bool = False,
+) -> TopicSpec:
+    """Register a management topic; ``pmgr show <name> [--json]`` and
+    every fanout library pick it up immediately.
+
+    ``query_fn`` is ``fn(library, **filters) -> dict`` (or the name of a
+    library method), ``renderer`` is ``fn(payload) -> List[str]`` over
+    the schema-stripped payload, and ``merge`` declares how per-node
+    payloads aggregate (a strategy name or a callable — see the module
+    docstring).
+    """
+    if not name or not name.replace("_", "").isalnum():
+        raise ConfigurationError(f"bad topic name {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"topic {name!r} is already registered (pass replace=True "
+            "to override)"
+        )
+    if not callable(renderer):
+        raise ConfigurationError(f"renderer for {name!r} must be callable")
+    if not (callable(query_fn) or isinstance(query_fn, str)):
+        raise ConfigurationError(
+            f"query_fn for {name!r} must be callable or a method name"
+        )
+    if not isinstance(schema_version, int) or schema_version < 1:
+        raise ConfigurationError(
+            f"schema_version for {name!r} must be a positive int"
+        )
+    if not callable(merge) and merge not in MERGE_STRATEGIES and merge != "frontend":
+        raise ConfigurationError(
+            f"unknown merge strategy {merge!r} for topic {name!r}; known: "
+            f"{sorted(MERGE_STRATEGIES)} + 'frontend' or a callable"
+        )
+    spec = TopicSpec(name, query_fn, renderer, schema_version, merge)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def topic_names() -> Tuple[str, ...]:
+    """All registered topics, in registration (= help) order."""
+    return tuple(_REGISTRY)
+
+
+def get_topic(name: str) -> TopicSpec:
+    """The spec for a registered topic (KeyError with the known set)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown query topic {name!r}; known: {list(_REGISTRY)}"
+        ) from None
+
+
+def attach_schema(spec: TopicSpec, data: dict) -> dict:
+    """Shallow-copy a query payload and stamp the schema envelope."""
+    out = dict(data)
+    out["schema"] = spec.envelope()
+    return out
+
+
+def strip_schema(data: dict) -> dict:
+    if "schema" not in data:
+        return data
+    return {k: v for k, v in data.items() if k != "schema"}
+
+
+# ----------------------------------------------------------------------
+# Merge strategies (cross-node aggregation, docs/OBSERVABILITY.md)
+# ----------------------------------------------------------------------
+def merge_sum_dict(dicts: List[dict]) -> dict:
+    """Key-wise merge: numerics summed, dicts recursed, first otherwise."""
+    out: dict = {}
+    for d in dicts:
+        for key, value in d.items():
+            if isinstance(value, bool):
+                out.setdefault(key, value)
+            elif isinstance(value, (int, float)):
+                out[key] = out.get(key, 0) + value
+            elif isinstance(value, dict):
+                out[key] = merge_sum_dict([out.get(key, {}), value])
+            else:
+                out.setdefault(key, value)
+    return out
+
+
+def _merge_bucketwise(per_node: List[dict]) -> dict:
+    """Telemetry-shaped merge: counters/gauges summed, histograms merged
+    bucket-by-bucket; any disabled node disables the aggregate."""
+    if not all(d.get("enabled", True) for d in per_node):
+        return {"enabled": False}
+    merged: dict = {"enabled": True, "counters": {}, "gauges": {},
+                    "histograms": {}}
+    for d in per_node:
+        for name, value in d.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, value in d.get("gauges", {}).items():
+            merged["gauges"][name] = merged["gauges"].get(name, 0) + value
+        for name, hist in d.get("histograms", {}).items():
+            slot = merged["histograms"].get(name)
+            if slot is None:
+                merged["histograms"][name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                }
+            else:
+                slot["counts"] = [
+                    a + b for a, b in zip(slot["counts"], hist["counts"])
+                ]
+                slot["count"] += hist["count"]
+                slot["sum"] += hist["sum"]
+    return merged
+
+
+def _merge_worst_wins(per_node: List[dict]) -> dict:
+    """Overload-shaped merge: worst tier rung wins and window pressure
+    is the per-node max — one thrashing node is an incident even when
+    its peers are idle.  Counters sum; transitions interleave by time."""
+    enabled = [d for d in per_node if d.get("enabled")]
+    if not enabled:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        "tier": max((d["tier"] for d in enabled), key=TIERS.index),
+        "window": {
+            "packets": sum(d["window"]["packets"] for d in enabled),
+            "miss_ratio": max(d["window"]["miss_ratio"] for d in enabled),
+            "evict_frac": max(d["window"]["evict_frac"] for d in enabled),
+            "occupancy": max(
+                (d["window"]["occupancy"] for d in enabled
+                 if d["window"]["occupancy"] is not None),
+                default=None,
+            ),
+        },
+        "counters": merge_sum_dict([d["counters"] for d in enabled]),
+        "transitions": sorted(
+            (t for d in enabled for t in d["transitions"]),
+            key=lambda t: t["time"],
+        ),
+    }
+
+
+def _merge_concat(per_node: List[dict]) -> dict:
+    """List-carrying merge: lists concatenated in node order, numerics
+    summed, dicts recursed, first value otherwise."""
+    out: dict = {}
+    for d in per_node:
+        for key, value in d.items():
+            if isinstance(value, list):
+                out[key] = list(out.get(key, [])) + list(value)
+            elif isinstance(value, bool):
+                out.setdefault(key, value)
+            elif isinstance(value, (int, float)):
+                out[key] = out.get(key, 0) + value
+            elif isinstance(value, dict):
+                out[key] = merge_sum_dict([out.get(key, {}), value])
+            else:
+                out.setdefault(key, value)
+    return out
+
+
+def _merge_shard0(per_node: List[dict]) -> dict:
+    """Configuration views are identical across nodes by fanout
+    construction; node 0 answers for all."""
+    return per_node[0] if per_node else {}
+
+
+def _merge_trace(per_node: List[dict]) -> dict:
+    """Bespoke: sample/capacity are per-node configuration (identical by
+    fanout), so first-wins rather than summed; spans concatenate."""
+    enabled = [d for d in per_node if d.get("enabled")]
+    if not enabled:
+        return {"enabled": False}
+    first = enabled[0]
+    return {
+        "enabled": True,
+        "sample": first["sample"],
+        "capacity": first["capacity"],
+        "sampled": sum(d["sampled"] for d in enabled),
+        "recorded": sum(d["recorded"] for d in enabled),
+        "open": sum(d["open"] for d in enabled),
+        "spans": [span for d in enabled for span in d["spans"]],
+    }
+
+
+def _merge_faults(per_node: List[dict]) -> dict:
+    """Bespoke: per-plugin fault snapshots merge field-by-field, and any
+    node reporting a quarantine surfaces it on the aggregate."""
+    plugins: dict = {}
+    for d in per_node:
+        for name, snap in d["plugins"].items():
+            slot = plugins.get(name)
+            if slot is None:
+                plugins[name] = dict(snap)
+            else:
+                for key, value in snap.items():
+                    if isinstance(value, bool):
+                        slot[key] = slot.get(key) or value
+                    elif isinstance(value, (int, float)):
+                        slot[key] = slot.get(key, 0) + value
+                    elif key == "records":
+                        slot[key] = list(slot.get(key, [])) + list(value)
+                    elif key == "state" and slot.get(key) != value:
+                        # Any node quarantined -> surface it.
+                        if value == "quarantined":
+                            slot[key] = value
+    return {"plugins": plugins}
+
+
+#: Named strategies a TopicSpec.merge may reference.  "frontend" is
+#: handled by the fanout libraries themselves (no payload merge).
+MERGE_STRATEGIES: Dict[str, MergeFn] = {
+    "sum": merge_sum_dict,
+    "bucketwise": _merge_bucketwise,
+    "worst-wins": _merge_worst_wins,
+    "concat": _merge_concat,
+    "shard0": _merge_shard0,
+}
+
+
+def merge_topic(topic: Union[str, TopicSpec], per_node: List[dict]) -> dict:
+    """Merge per-node query payloads per the topic's declared strategy.
+    Schema envelopes are stripped before merging (so version ints are
+    never summed); the caller re-attaches via :func:`attach_schema`."""
+    spec = topic if isinstance(topic, TopicSpec) else get_topic(topic)
+    if spec.merge == "frontend":
+        raise ConfigurationError(
+            f"topic {spec.name!r} is answered by the fanout front end, "
+            "not merged from per-node payloads"
+        )
+    stripped = [strip_schema(d) for d in per_node]
+    strategy = spec.merge if callable(spec.merge) else MERGE_STRATEGIES[spec.merge]
+    return strategy(stripped)
+
+
+# ----------------------------------------------------------------------
+# Core topic renderers
+# ----------------------------------------------------------------------
 def _render_plugins(data: dict) -> List[str]:
     return [entry["name"] for entry in data["plugins"]]
 
@@ -152,26 +471,72 @@ def _render_shards(data: dict) -> List[str]:
     return lines
 
 
-_RENDERERS: Dict[str, Callable[[dict], List[str]]] = {
-    "plugins": _render_plugins,
-    "filters": _render_filters,
-    "flows": _render_flows,
-    "aiu": _render_aiu,
-    "faults": _render_faults,
-    "health": _render_health,
-    "telemetry": _render_telemetry,
-    "trace": _render_trace,
-    "overload": _render_overload,
-    "shards": _render_shards,
-}
+# Core registrations, in the historical TOPICS help order.  String
+# query_fns name RouterPluginLibrary methods; fanout libraries override
+# "frontend" topics with their own handlers.
+register_topic("plugins", "_query_plugins", _render_plugins, merge="shard0")
+register_topic("filters", "_query_filters", _render_filters, merge="shard0")
+register_topic("flows", "_query_flows", _render_flows, merge="sum")
+register_topic("aiu", "_query_aiu", _render_aiu, merge="sum")
+register_topic("faults", "_query_faults", _render_faults, merge=_merge_faults)
+register_topic("health", "_query_health", _render_health, merge="frontend")
+register_topic("telemetry", "_query_telemetry", _render_telemetry,
+               merge="bucketwise")
+register_topic("trace", "_query_trace", _render_trace, merge=_merge_trace)
+register_topic("overload", "_query_overload", _render_overload,
+               merge="worst-wins")
+register_topic("shards", "_query_shards", _render_shards, merge="frontend")
 
 
 def render_topic(topic: str, data: dict) -> List[str]:
-    """Render one query result as the pmgr text lines for its topic."""
+    """Render one query result as the pmgr text lines for its topic.
+
+    The schema envelope is stripped before rendering, so the text view
+    stays a pure function of the payload.  Envelope-less dicts (the
+    pre-registry ``query()`` shape) still render, with a one-release
+    :class:`DeprecationWarning`.
+    """
     try:
-        renderer = _RENDERERS[topic]
+        spec = _REGISTRY[topic]
     except KeyError as exc:
         raise KeyError(
-            f"no text formatter for topic {topic!r}; known: {sorted(_RENDERERS)}"
+            f"no text formatter for topic {topic!r}; known: {sorted(_REGISTRY)}"
         ) from exc
-    return renderer(data)
+    if "schema" not in data:
+        warnings.warn(
+            f"rendering a query payload for {topic!r} without the "
+            "'schema' envelope is deprecated; query() now returns "
+            "schema-enveloped dicts (removed in 2.0)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return spec.renderer(strip_schema(data))
+
+
+def _deprecated_renderers() -> Dict[str, Renderer]:
+    return {name: spec.renderer for name, spec in _REGISTRY.items()}
+
+
+def __getattr__(name: str):
+    # Pre-registry module surface, kept importable one release.
+    if name == "TOPICS":
+        warnings.warn(
+            "repro.mgr.format.TOPICS is deprecated (removed in 2.0); "
+            "use repro.mgr.format.topic_names()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return topic_names()
+    if name == "_RENDERERS":
+        warnings.warn(
+            "repro.mgr.format._RENDERERS is deprecated (removed in 2.0); "
+            "use repro.mgr.format.get_topic(name).renderer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _deprecated_renderers()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | {"TOPICS", "_RENDERERS"})

@@ -31,7 +31,7 @@ from ..sched import (
 )
 from ..security import AhPlugin, EspPlugin, FirewallPlugin, HwEspPlugin
 from ..stats import StatisticsPlugin, TcpMonitorPlugin
-from .format import TOPICS, render_topic
+from .format import attach_schema, get_topic, render_topic, topic_names
 
 PLUGIN_REGISTRY: Dict[str, Type[Plugin]] = {
     "cbq": CbqPlugin,
@@ -225,21 +225,25 @@ class RouterPluginLibrary:
     # ------------------------------------------------------------------
     def query(self, topic: str, **filters) -> dict:
         """The structured twin of every ``pmgr show`` topic: a JSON-able
-        dict.  The text outputs are ``format.render_topic`` over this
-        same dict (round-trip asserted by tests/mgr), so they cannot
-        drift.  Supported filters: ``gate=`` (filters), ``plugin=``
-        (faults)."""
-        handler = getattr(self, f"_query_{topic}", None)
-        if handler is None or topic not in TOPICS:
-            raise ConfigurationError(
-                f"unknown query topic {topic!r}; known: {list(TOPICS)}"
-            )
+        dict carrying a ``"schema": {"topic", "version"}`` envelope.
+        The text outputs are ``format.render_topic`` over this same dict
+        (round-trip asserted by tests/mgr), so they cannot drift.
+        Topics resolve through the :mod:`repro.mgr.format` registry, so
+        subsystem registrations (``repro.topo``) answer here too.
+        Supported filters: ``gate=`` (filters), ``plugin=`` (faults)."""
         try:
-            return handler(**filters)
+            spec = get_topic(topic)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown query topic {topic!r}; known: {list(topic_names())}"
+            ) from None
+        try:
+            data = spec.run_query(self, **filters)
         except TypeError as exc:
             raise ConfigurationError(
                 f"bad filters for query {topic!r}: {exc}"
             ) from exc
+        return attach_schema(spec, data)
 
     def _query_plugins(self) -> dict:
         plugins = []

@@ -24,13 +24,22 @@ Command language (one command per line; ``#`` comments allowed)::
     telemetry on|off|status                   # metrics registry (docs/OBSERVABILITY.md)
     trace on [sample=N] [capacity=N]          # packet-lifecycle tracer
     trace off
+    trace path <src> <dst> [proto=P] [sport=N] [dport=N] [entry=node]
+                                              # hop-by-hop path trace
+                                              # (topology routers only;
+                                              # results: show paths)
     overload on [key=value...]                # overload governor thresholds
     overload off|status                       # (docs/ROBUSTNESS.md)
-    show plugins|filters|flows|aiu|faults|health|telemetry|trace|overload [--json]
+    show <topic> [--json]                     # any registered topic
 
-Every ``show`` topic has a structured twin: ``show X --json`` prints the
-:meth:`RouterPluginLibrary.query` dict for the topic, and the plain-text
-output is a formatter over that same dict (``repro.mgr.format``).
+``show`` accepts every topic in the :mod:`repro.mgr.format` registry
+(plugins, filters, flows, aiu, faults, health, telemetry, trace,
+overload, shards — plus subsystem registrations such as ``topology``
+and ``paths`` from :mod:`repro.topo`).  Every ``show`` topic has a
+structured twin: ``show X --json`` prints the
+:meth:`RouterPluginLibrary.query` dict for the topic (with its
+``schema`` version envelope), and the plain-text output is a formatter
+over that same dict (``repro.mgr.format``).
 
 The §6.1 example script from the paper runs verbatim through
 :func:`run_script` (see ``tests/mgr/test_pmgr_paper_script.py``).  A
@@ -48,7 +57,7 @@ from typing import Callable, Dict, List, Optional
 from ..core.errors import ConfigurationError, ScriptError
 from ..core.messages import Message
 from ..core.router import Router
-from .format import TOPICS, render_topic
+from .format import render_topic, topic_names
 from .library import RouterPluginLibrary, parse_config_value, split_command
 
 
@@ -56,10 +65,15 @@ class PluginManager:
     """The command interpreter over the Router Plugin Library."""
 
     def __init__(self, router: Router, output: Optional[Callable[[str], None]] = None):
-        # Duck-typed: a ShardedRouter front end gets the control-plane
-        # fanout library so every command broadcasts to all shards and
-        # every ``show`` aggregates across them (docs/OBSERVABILITY.md).
-        if hasattr(router, "nshards") and hasattr(router, "shards"):
+        # Duck-typed: a Topology front end gets the per-node fanout
+        # library (docs/TOPOLOGY.md); a ShardedRouter front end gets the
+        # per-shard fanout library so every command broadcasts to all
+        # shards and every ``show`` aggregates (docs/OBSERVABILITY.md).
+        if hasattr(router, "nodes") and hasattr(router, "links"):
+            from ..topo.control import TopologyPluginLibrary
+
+            self.library = TopologyPluginLibrary(router)
+        elif hasattr(router, "nshards") and hasattr(router, "shards"):
             from ..shard.control import ShardedPluginLibrary
 
             self.library = ShardedPluginLibrary(router)
@@ -270,9 +284,14 @@ class PluginManager:
             self._print(f"telemetry {state}")
 
     def _cmd_trace(self, args: List[str]) -> None:
+        if args and args[0] == "path":
+            self._cmd_trace_path(args[1:])
+            return
         if not args or args[0] not in ("on", "off"):
             raise ConfigurationError(
-                "usage: trace on [sample=N] [capacity=N] | trace off"
+                "usage: trace on [sample=N] [capacity=N] | trace off | "
+                "trace path <src> <dst> [proto=P] [sport=N] [dport=N] "
+                "[entry=node]"
             )
         if args[0] == "off":
             if len(args) != 1:
@@ -293,6 +312,40 @@ class PluginManager:
             self._print(
                 f"tracing enabled sample=1/{tracer.sample} capacity={tracer.capacity}"
             )
+
+    def _cmd_trace_path(self, args: List[str]) -> None:
+        usage = (
+            "usage: trace path <src> <dst> [proto=P] [sport=N] [dport=N] "
+            "[entry=node]"
+        )
+        if len(args) < 2:
+            raise ConfigurationError(usage)
+        trace_path = getattr(self.library, "trace_path", None)
+        if trace_path is None:
+            raise ConfigurationError(
+                "path tracing needs a multi-router topology "
+                "(PluginManager over repro.topo.Topology)"
+            )
+        src, dst = args[0], args[1]
+        options = dict(parse_config_value(token) for token in args[2:])
+        unknown = set(options) - {"proto", "sport", "dport", "entry"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown trace path options {sorted(unknown)}; "
+                "known: proto, sport, dport, entry"
+            )
+        proto = options.get("proto", "udp")
+        if isinstance(proto, str):
+            from ..net.headers import protocol_number
+
+            proto = protocol_number(proto)
+        five_tuple = (
+            src, dst, proto,
+            int(options.get("sport", 5000)), int(options.get("dport", 9000)),
+        )
+        trace = trace_path(five_tuple, entry=options.get("entry"))
+        for line in trace.render():
+            self._print(line)
 
     def _cmd_overload(self, args: List[str]) -> None:
         usage = "usage: overload on [key=value...] | overload off | overload status"
@@ -326,10 +379,11 @@ class PluginManager:
     def _cmd_show(self, args: List[str]) -> None:
         json_out = "--json" in args
         args = [a for a in args if a != "--json"]
-        usage = f"show {'|'.join(TOPICS)} [--json]"
+        topics = topic_names()
+        usage = f"show {'|'.join(topics)} [--json]"
         self._need(args, 1, usage)
         what = args[0]
-        if what not in TOPICS:
+        if what not in topics:
             raise ConfigurationError(f"unknown show target {what!r}")
         data = self.library.query(what)
         if json_out:

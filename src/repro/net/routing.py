@@ -24,6 +24,11 @@ class Route:
     next_hop: Optional[IPAddress]
     interface: str
     metric: int = 1
+    #: Member interfaces when this route is an ECMP bundle; the data
+    #: path still forwards on ``interface`` (a synthetic bundle name),
+    #: so plain routers stay oblivious — only topology links fan the
+    #: bundle out per flow.
+    ecmp_group: Optional[Tuple[str, ...]] = None
 
     @property
     def is_directly_connected(self) -> bool:
@@ -123,6 +128,37 @@ class RoutingTable:
         if isinstance(next_hop, str):
             next_hop = IPAddress.parse(next_hop)
         route = Route(prefix, next_hop, interface, metric)
+        self._routes[prefix] = route
+        self._engine(prefix.width).insert(prefix, route)
+        self.version += 1
+        self._memo4.clear()
+        self._memo6.clear()
+        return route
+
+    def add_ecmp(
+        self,
+        prefix,
+        interfaces,
+        next_hop=None,
+        metric: int = 1,
+    ) -> Route:
+        """Install an equal-cost multi-path route over ``interfaces``.
+
+        The entry's ``interface`` is a synthetic bundle name
+        (``"ecmp:ge1+ge2"``): a router that owns no such interface
+        treats the packet exactly like any other unknown egress, while
+        a topology binds the bundle name to a per-flow selector that
+        folds the five-tuple over the member edges (deterministic —
+        never builtin ``hash()``)."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        if isinstance(next_hop, str):
+            next_hop = IPAddress.parse(next_hop)
+        members = tuple(interfaces)
+        if len(members) < 2:
+            raise ValueError("an ECMP bundle needs at least two interfaces")
+        bundle = "ecmp:" + "+".join(members)
+        route = Route(prefix, next_hop, bundle, metric, ecmp_group=members)
         self._routes[prefix] = route
         self._engine(prefix.width).insert(prefix, route)
         self.version += 1

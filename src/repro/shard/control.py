@@ -29,25 +29,8 @@ import shlex
 from typing import Callable, List, Optional
 
 from ..core.errors import ConfigurationError
-from ..core.overload import TIERS
-from ..mgr.format import TOPICS
+from ..mgr.format import attach_schema, get_topic, merge_topic, topic_names
 from ..mgr.library import RouterPluginLibrary
-
-
-def _merge_sum_dict(dicts: List[dict]) -> dict:
-    """Key-wise merge: numerics summed, dicts recursed, first otherwise."""
-    out: dict = {}
-    for d in dicts:
-        for key, value in d.items():
-            if isinstance(value, bool):
-                out.setdefault(key, value)
-            elif isinstance(value, (int, float)):
-                out[key] = out.get(key, 0) + value
-            elif isinstance(value, dict):
-                out[key] = _merge_sum_dict([out.get(key, {}), value])
-            else:
-                out.setdefault(key, value)
-    return out
 
 
 class ShardedPluginLibrary:
@@ -266,33 +249,38 @@ class ShardedPluginLibrary:
     def query(self, topic: str, **filters) -> dict:
         """Cross-shard aggregate of every show topic.
 
-        Semantics (docs/OBSERVABILITY.md): counters and flow/fault
-        totals are summed; histograms merge bucket-wise; tiers take the
-        worst rung; configuration views (plugins, filters) come from
-        shard 0 because the fanout keeps shards identical; ``shards``
-        returns the per-shard breakdown.
+        Aggregation is declared per topic in the
+        :mod:`repro.mgr.format` registry (docs/OBSERVABILITY.md):
+        counters and flow/fault totals are summed; histograms merge
+        bucket-wise; tiers take the worst rung; configuration views
+        (plugins, filters) come from shard 0 because the fanout keeps
+        shards identical.  ``"frontend"`` topics are answered by this
+        front end itself (``health``, ``shards``); a topic registered
+        without a front-end handler falls back to its query function
+        run against this library.
         """
-        if topic not in TOPICS:
+        try:
+            spec = get_topic(topic)
+        except KeyError:
             raise ConfigurationError(
-                f"unknown query topic {topic!r}; known: {list(TOPICS)}"
-            )
-        if topic == "shards":
-            return self._query_shards()
-        if topic == "health":
-            return self.sharded.health()
-        per_shard = self._per_shard_query(topic, **filters)
-        if topic in ("plugins", "filters"):
-            return per_shard[0]
-        if topic == "telemetry":
-            return self._merge_telemetry(per_shard)
-        if topic == "overload":
-            return self._merge_overload(per_shard)
-        if topic == "trace":
-            return self._merge_trace(per_shard)
-        if topic == "faults":
-            return self._merge_faults(per_shard)
-        # flows / aiu: plain numeric aggregates.
-        return _merge_sum_dict(per_shard)
+                f"unknown query topic {topic!r}; known: {list(topic_names())}"
+            ) from None
+        if spec.merge == "frontend":
+            handler = getattr(self, f"_frontend_{topic}", None)
+            if handler is not None:
+                data = handler(**filters)
+            else:
+                data = spec.run_query(self, **filters)
+        else:
+            per_shard = self._per_shard_query(topic, **filters)
+            data = merge_topic(spec, per_shard)
+        return attach_schema(spec, data)
+
+    def _frontend_health(self) -> dict:
+        return self.sharded.health()
+
+    def _frontend_shards(self) -> dict:
+        return self._query_shards()
 
     def _per_shard_query(self, topic: str, **filters) -> List[dict]:
         pool = self.sharded._pool
@@ -316,101 +304,3 @@ class ShardedPluginLibrary:
                 {"shard": i, **summary} for i, summary in enumerate(summaries)
             ],
         }
-
-    @staticmethod
-    def _merge_telemetry(per_shard: List[dict]) -> dict:
-        if not all(d.get("enabled", True) for d in per_shard):
-            return {"enabled": False}
-        merged: dict = {"enabled": True, "counters": {}, "gauges": {},
-                        "histograms": {}}
-        for d in per_shard:
-            for name, value in d.get("counters", {}).items():
-                merged["counters"][name] = (
-                    merged["counters"].get(name, 0) + value
-                )
-            for name, value in d.get("gauges", {}).items():
-                merged["gauges"][name] = merged["gauges"].get(name, 0) + value
-            for name, hist in d.get("histograms", {}).items():
-                slot = merged["histograms"].get(name)
-                if slot is None:
-                    merged["histograms"][name] = {
-                        "bounds": list(hist["bounds"]),
-                        "counts": list(hist["counts"]),
-                        "count": hist["count"],
-                        "sum": hist["sum"],
-                    }
-                else:
-                    slot["counts"] = [
-                        a + b for a, b in zip(slot["counts"], hist["counts"])
-                    ]
-                    slot["count"] += hist["count"]
-                    slot["sum"] += hist["sum"]
-        return merged
-
-    @staticmethod
-    def _merge_overload(per_shard: List[dict]) -> dict:
-        enabled = [d for d in per_shard if d.get("enabled")]
-        if not enabled:
-            return {"enabled": False}
-        merged = {
-            "enabled": True,
-            "tier": max(
-                (d["tier"] for d in enabled), key=TIERS.index
-            ),
-            # Worst-shard pressure, not the mean: one thrashing shard is
-            # an incident even when its peers are idle.
-            "window": {
-                "packets": sum(d["window"]["packets"] for d in enabled),
-                "miss_ratio": max(d["window"]["miss_ratio"] for d in enabled),
-                "evict_frac": max(d["window"]["evict_frac"] for d in enabled),
-                "occupancy": max(
-                    (d["window"]["occupancy"] for d in enabled
-                     if d["window"]["occupancy"] is not None),
-                    default=None,
-                ),
-            },
-            "counters": _merge_sum_dict([d["counters"] for d in enabled]),
-            "transitions": sorted(
-                (t for d in enabled for t in d["transitions"]),
-                key=lambda t: t["time"],
-            ),
-        }
-        return merged
-
-    @staticmethod
-    def _merge_trace(per_shard: List[dict]) -> dict:
-        enabled = [d for d in per_shard if d.get("enabled")]
-        if not enabled:
-            return {"enabled": False}
-        first = enabled[0]
-        return {
-            "enabled": True,
-            "sample": first["sample"],
-            "capacity": first["capacity"],
-            "sampled": sum(d["sampled"] for d in enabled),
-            "recorded": sum(d["recorded"] for d in enabled),
-            "open": sum(d["open"] for d in enabled),
-            "spans": [span for d in enabled for span in d["spans"]],
-        }
-
-    @staticmethod
-    def _merge_faults(per_shard: List[dict]) -> dict:
-        plugins: dict = {}
-        for d in per_shard:
-            for name, snap in d["plugins"].items():
-                slot = plugins.get(name)
-                if slot is None:
-                    plugins[name] = dict(snap)
-                else:
-                    for key, value in snap.items():
-                        if isinstance(value, bool):
-                            slot[key] = slot.get(key) or value
-                        elif isinstance(value, (int, float)):
-                            slot[key] = slot.get(key, 0) + value
-                        elif key == "records":
-                            slot[key] = list(slot.get(key, [])) + list(value)
-                        elif key == "state" and slot.get(key) != value:
-                            # Any shard quarantined -> surface it.
-                            if value == "quarantined":
-                                slot[key] = value
-        return {"plugins": plugins}

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.router import Disposition
+from ..sim.cost import NULL_METER
 
 
 class Span:
@@ -181,9 +182,21 @@ class LifecycleTracer:
     # Tracer hook protocol (called by the metered gate macros)
     # ------------------------------------------------------------------
     def on_receive(self, packet) -> None:
-        # The span was opened by begin(); classification cycles are
-        # anchored at the first gate, mirroring the data path.
-        pass
+        # The sampled packet's span was opened by begin(); classification
+        # cycles are anchored at the first gate, mirroring the data path.
+        # A packet with *no* open span entering the metered path while
+        # this tracer is attached is a nested re-injection (tunnel
+        # decapsulation re-running the inner datagram through the same
+        # router): open a cycle-free span for it — the nested walk runs
+        # unmetered, but its gate sequence and disposition are real, and
+        # path tracers fold them into the decapsulating hop's record.
+        if packet.packet_id in self._open:
+            return
+        self.sampled += 1
+        span = Span(
+            packet.packet_id, _flow_digest(packet), packet.arrival_time
+        )
+        self._open[packet.packet_id] = [span, NULL_METER, 0]
 
     def on_gate(self, packet, gate: str, instance, verdict: str, note: str = "") -> None:
         self._stage(packet.packet_id, f"gate:{gate}")
@@ -195,8 +208,17 @@ class LifecycleTracer:
         self._stage(packet.packet_id, "route")
 
     def on_done(self, packet, disposition: str) -> None:
-        # Router._receive_traced drives finish() explicitly.
-        pass
+        # Sampled packets are closed by finish() (driven explicitly by
+        # Router._receive_traced); only nested re-injection spans — the
+        # ones on_receive opened against the null meter — close here.
+        entry = self._open.get(packet.packet_id)
+        if entry is None or entry[1] is not NULL_METER:
+            return
+        span = entry[0]
+        span.disposition = disposition
+        span.done_time = span.started
+        del self._open[packet.packet_id]
+        self._close(span)
 
     # ------------------------------------------------------------------
     # Reading
@@ -211,6 +233,19 @@ class LifecycleTracer:
 
     def open_spans(self) -> int:
         return len(self._open)
+
+    def span_for(self, packet_id: int) -> Optional[Span]:
+        """The most recent span for ``packet_id`` — a still-open span
+        first (a queued packet whose emit has not fired), else the
+        newest closed one.  Path tracers use this to harvest the span
+        of the one packet they just pushed through a hop."""
+        entry = self._open.get(packet_id)
+        if entry is not None:
+            return entry[0]
+        for span in reversed(self.spans()):
+            if span.packet_id == packet_id:
+                return span
+        return None
 
     def to_dict(self) -> dict:
         return {

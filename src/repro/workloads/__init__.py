@@ -15,6 +15,12 @@ from .filtersets import (
     table3_filters,
 )
 from .pcap import PcapError, iter_pcap, read_pcap, replay_into, write_pcap
+from .topo_scenarios import (
+    TOPO_SCENARIOS,
+    build as build_topo_scenario,
+    topo_scenario,
+    topo_scenario_names,
+)
 from .flows import (
     FlowSpec,
     TimedPacket,
@@ -53,4 +59,8 @@ __all__ = [
     "read_pcap",
     "replay_into",
     "write_pcap",
+    "TOPO_SCENARIOS",
+    "build_topo_scenario",
+    "topo_scenario",
+    "topo_scenario_names",
 ]
